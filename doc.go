@@ -1,0 +1,10 @@
+// Package securearchive is a crypto-agile secure archival framework: a
+// from-scratch Go reproduction of the design space charted by "Secure
+// Archival is Hard... Really Hard" (HotStorage '24).
+//
+// The library lives under internal/ (core is the framework; the other
+// packages are its substrates), runnable examples under examples/, and
+// the paper-evaluation binaries under cmd/. The root bench_test.go
+// regenerates every table and figure of the paper; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package securearchive

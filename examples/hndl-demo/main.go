@@ -1,0 +1,83 @@
+// hndl-demo plays out the paper's headline attack — Harvest Now, Decrypt
+// Later — against two archives side by side: a commodity AES cloud and a
+// POTSHARDS-style secret-shared store. The adversary exfiltrates
+// ciphertext today; AES "falls" decades later; only the computational
+// archive bleeds retroactively.
+//
+//	go run ./examples/hndl-demo
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"securearchive/internal/adversary"
+	"securearchive/internal/cascade"
+	"securearchive/internal/cluster"
+	"securearchive/internal/systems"
+)
+
+func main() {
+	record := []byte("patient genome — sensitive for the subject's grandchildren too")
+
+	c := cluster.New(8, nil)
+	// RS(2,4): any 2 of 6 shards rebuild the (public) ciphertext.
+	cloud, err := systems.NewCloudAES(c, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pots, err := systems.NewPOTSHARDS(c, 6, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cloudRef, err := cloud.Store("genome-cloud", record, rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	potsRef, err := pots.Store("genome-pots", record, rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Year 0: a patient nation-state harvests TWO nodes — enough RS
+	// shards to rebuild the cloud ciphertext, but below the secret-
+	// sharing threshold of 3.
+	adv := adversary.NewMobile(2, 2024)
+	adv.Corrupt(c, 0)
+	adv.Corrupt(c, 1)
+	fmt.Println("year 0: adversary exfiltrated nodes 0 and 1")
+
+	noBreaks := adversary.Breaks{}
+	fmt.Printf("  cloud archive:   %s\n", verdict(cloud.Breach(adv, cloudRef, noBreaks, 0)))
+	fmt.Printf("  shared archive:  %s\n", verdict(pots.Breach(adv, potsRef, noBreaks, 0)))
+
+	// Year 30: cryptanalysis (or a quantum computer) fells AES.
+	breaks := adversary.Breaks{Ciphers: map[cascade.Scheme]int{cascade.AES256CTR: 30}}
+	fmt.Println("year 30: AES broken")
+	cres := cloud.Breach(adv, cloudRef, breaks, 30)
+	fmt.Printf("  cloud archive:   %s — %s\n", verdict(cres), cres.Reason)
+	if cres.Full {
+		fmt.Printf("    recovered: %q\n", cres.Recovered)
+	}
+	pres := pots.Breach(adv, potsRef, breaks, 30)
+	fmt.Printf("  shared archive:  %s — %s\n", verdict(pres), pres.Reason)
+
+	fmt.Println()
+	fmt.Println("lesson (§3.2): re-encrypting after the break cannot help the cloud —")
+	fmt.Println("the 30-year-old stolen ciphertext already contains the plaintext.")
+	fmt.Println("information-theoretic sharing never handed the adversary anything:")
+	fmt.Println("2 of 3 required shares are statistically independent of the genome.")
+}
+
+func verdict(r systems.BreachResult) string {
+	switch {
+	case r.Full:
+		return "FULL BREACH"
+	case r.Violated:
+		return "partial leak"
+	default:
+		return "holds"
+	}
+}

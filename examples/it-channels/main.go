@@ -1,0 +1,87 @@
+// it-channels compares the two information-theoretic channel options the
+// paper discusses for protecting data in transit (§3.2, §4): BB84 quantum
+// key distribution and the Bounded Storage Model. Both feed one-time-pad
+// key material; the demo shows QKD's eavesdropper detection, the BSM's
+// storage-gap security sweep, and ends with an OTP transfer keyed by each.
+//
+//	go run ./examples/it-channels
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securearchive/internal/bsm"
+	"securearchive/internal/otp"
+	"securearchive/internal/qkd"
+)
+
+func main() {
+	fmt.Println("== QKD (BB84): detection-based security ==")
+	p := qkd.Params{Photons: 8192, NoiseRate: 0.01, SampleFraction: 0.25, AbortQBER: 0.11}
+
+	clean, err := qkd.Run(p, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean channel: %d photons → %d sifted bits, QBER %.1f%%, %d key bytes\n",
+		p.Photons, clean.SiftedBits, clean.EstimatedQBER*100, len(clean.Key))
+
+	tapped := p
+	tapped.Eavesdrop = true
+	res, err := qkd.Run(tapped, 2)
+	if res != nil && res.Detected {
+		fmt.Printf("tapped channel: QBER %.1f%% (theory: 25%%) → ABORTED before any secret moved\n",
+			res.EstimatedQBER*100)
+	} else {
+		fmt.Println("tapped channel: NOT detected (err:", err, ") — rerun with more photons")
+	}
+	prob, _ := qkd.DetectionProbability(p, 100, 10)
+	fmt.Printf("intercept-resend detection probability over 100 sessions: %.2f\n", prob)
+
+	fmt.Println("\n== Bounded Storage Model: storage-gap security ==")
+	fmt.Println("1 MiB public stream, parties sample 1024 bytes; adversary stores a fraction α:")
+	for _, alpha := range []float64{0.1, 0.5, 0.9, 0.99} {
+		r, err := bsm.Exchange(bsm.Params{
+			StreamBytes: 1 << 20, SampleBytes: 1024,
+			AdversaryFraction: alpha, KeyBytes: 64, EveStrategy: bsm.EveRandom,
+		}, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  α=%.2f: adversary knows %4d/1024 sampled bytes, fresh entropy %4d B, 64-byte key secure: %v\n",
+			alpha, r.EveKnownSamples, r.FreshEntropyBytes, r.Secure)
+	}
+
+	fmt.Println("\n== both feed the same OTP transport ==")
+	q, err := qkd.Run(p, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := bsm.Exchange(bsm.Params{
+		StreamBytes: 1 << 20, SampleBytes: 1024,
+		AdversaryFraction: 0.5, KeyBytes: 128, EveStrategy: bsm.EveRandom,
+	}, 43)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, key := range map[string][]byte{"QKD": q.Key, "BSM": b.Key} {
+		sender := otp.NewPad(append([]byte(nil), key...))
+		receiver := otp.NewPad(append([]byte(nil), key...))
+		msg := []byte("share #5 in transit")
+		ct, err := sender.Encrypt(msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := receiver.Decrypt(ct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s-keyed OTP transfer: %q delivered, %d pad bytes left\n",
+			name, got, sender.Remaining())
+	}
+
+	fmt.Println("\ntrade-off (§4): QKD detects taps but needs quantum hardware; the BSM")
+	fmt.Println("needs only bandwidth, but its guarantee rests on the adversary's")
+	fmt.Println("storage staying bounded while the stream flows.")
+}

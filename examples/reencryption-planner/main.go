@@ -1,0 +1,80 @@
+// reencryption-planner turns §3.2's arithmetic into an operations tool:
+// given an archive's size, media, and throughput, it reports how long an
+// emergency re-encryption campaign would run, how long the exposure
+// window stays open, what a proactive-renewal sweep costs instead, and
+// what drive fleet would be needed to hit a deadline.
+//
+//	go run ./examples/reencryption-planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securearchive/internal/costmodel"
+	"securearchive/internal/media"
+)
+
+func main() {
+	// Plan for a national-archive-scale system.
+	const archiveBytes = 5e17 // 500 PB
+	tape, err := media.Get("tape")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 40-drive tape library's aggregate throughput.
+	const drives = 40
+	readPerDay := tape.ReadBandwidth * 86400 * drives
+
+	fmt.Printf("archive: 500 PB on %s, %d drives (%.0f TB/day aggregate)\n",
+		tape.Name, drives, readPerDay/1e12)
+
+	a := costmodel.Archive{Name: "plan", TotalBytes: archiveBytes, ReadBytesPerDay: readPerDay}
+	for _, sc := range []struct {
+		label string
+		s     costmodel.Scenario
+	}{
+		{"read-only floor", costmodel.Scenario{}},
+		{"with write-back", costmodel.Scenario{WriteBack: true}},
+		{"with foreground reserve", costmodel.Scenario{WriteBack: true, ForegroundReserve: true}},
+	} {
+		mo, err := costmodel.ReencryptMonths(a, sc.s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-26s %6.1f months (%.1f years)\n", sc.label, mo, mo/12)
+	}
+
+	exp, _ := costmodel.ExposureWindow(a, costmodel.Scenario{WriteBack: true, ForegroundReserve: true})
+	fmt.Printf("\nif the cipher breaks TODAY, the last object stays exposed for %.1f years.\n", exp/12)
+
+	// What would meeting a 3-month deadline take?
+	needed := tape.DrivesForReadDeadline(archiveBytes*2 /* read+write */, 90)
+	fmt.Printf("to finish in 3 months you would need ≈%d drives (%.0fx the fleet).\n",
+		needed, float64(needed)/drives)
+
+	// The secret-sharing alternative: proactive renewal instead of
+	// re-encryption, priced on the same network budget.
+	fmt.Println("\nproactive-renewal alternative (1 MB objects):")
+	for _, n := range []int{4, 8, 16} {
+		mo, err := costmodel.RenewalCampaign(archiveBytes, 1e6, n, readPerDay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  committee n=%-2d  one full renewal sweep: %7.1f months\n", n, mo)
+	}
+	fmt.Println("\nneither path escapes the I/O wall — the paper's point. Plan renewal")
+	fmt.Println("cadence and media fleet BEFORE choosing the committee size.")
+
+	// Media comparison for the next build-out.
+	fmt.Println("\nmedia options for the next 500 PB:")
+	for _, name := range media.Names() {
+		m, _ := media.Get(name)
+		fmt.Printf("  %-6s %8.2f m³ volume, $%11.0f media cost, %6.0fy life, offline=%v\n",
+			m.Name,
+			m.VolumeForBytes(archiveBytes)/1e9, // mm³ → m³
+			m.CostForBytes(archiveBytes),
+			m.LifetimeYears, !m.Online)
+	}
+}

@@ -1,0 +1,3 @@
+module securearchive
+
+go 1.22

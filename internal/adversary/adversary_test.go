@@ -1,0 +1,157 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+
+	"securearchive/internal/cascade"
+	"securearchive/internal/cluster"
+	"securearchive/internal/sig"
+)
+
+// seedCluster stores one object's shards, one per node.
+func seedCluster(n int) *cluster.Cluster {
+	c := cluster.New(n, nil)
+	for i := 0; i < n; i++ {
+		key := cluster.ShardKey{Object: "obj", Index: i}
+		_ = c.Put(i, key, []byte(fmt.Sprintf("shard-%d", i)))
+	}
+	return c
+}
+
+func TestBudgetEnforcedPerEpoch(t *testing.T) {
+	c := seedCluster(6)
+	m := NewMobile(2, 1)
+	if !m.Corrupt(c, 0) || !m.Corrupt(c, 1) {
+		t.Fatal("within-budget corruptions refused")
+	}
+	if m.Corrupt(c, 2) {
+		t.Fatal("third corruption in one epoch allowed with budget 2")
+	}
+	c.AdvanceEpoch()
+	if !m.Corrupt(c, 2) {
+		t.Fatal("budget did not reset on epoch advance")
+	}
+}
+
+func TestCorruptRandomRespectsBudget(t *testing.T) {
+	c := seedCluster(10)
+	m := NewMobile(3, 42)
+	if got := m.CorruptRandom(c); got != 3 {
+		t.Fatalf("corrupted %d, want 3", got)
+	}
+	if got := m.CorruptRandom(c); got != 0 {
+		t.Fatalf("second sweep in same epoch corrupted %d, want 0", got)
+	}
+}
+
+func TestMobileEventuallyVisitsAllNodes(t *testing.T) {
+	c := seedCluster(8)
+	m := NewMobile(2, 7)
+	for epoch := 0; epoch < 50 && m.NodesVisited() < 8; epoch++ {
+		m.CorruptRandom(c)
+		c.AdvanceEpoch()
+	}
+	if m.NodesVisited() != 8 {
+		t.Fatalf("visited %d/8 nodes after 50 epochs", m.NodesVisited())
+	}
+}
+
+func TestHarvestRecordsEpochs(t *testing.T) {
+	c := seedCluster(4)
+	m := NewMobile(1, 3)
+	m.Corrupt(c, 0)
+	c.AdvanceEpoch()
+	m.Corrupt(c, 1)
+	h := m.Harvest("obj")
+	if len(h) != 2 {
+		t.Fatalf("harvest size %d, want 2", len(h))
+	}
+	if h[0].HarvestEpoch != 0 || h[1].HarvestEpoch != 1 {
+		t.Fatalf("harvest epochs %d,%d", h[0].HarvestEpoch, h[1].HarvestEpoch)
+	}
+	if len(m.VaultObjects()) != 1 || m.VaultObjects()[0] != "obj" {
+		t.Fatalf("vault objects %v", m.VaultObjects())
+	}
+}
+
+// TestSameEpochVsAnyEpochAccounting models the renewal distinction: if the
+// object's shards are rewritten (new epoch) between corruptions, the
+// same-epoch count stays below the any-epoch count.
+func TestSameEpochVsAnyEpochAccounting(t *testing.T) {
+	c := cluster.New(4, nil)
+	put := func(idx int, v string) {
+		_ = c.Put(idx, cluster.ShardKey{Object: "obj", Index: idx}, []byte(v))
+	}
+	for i := 0; i < 4; i++ {
+		put(i, "v0")
+	}
+	m := NewMobile(1, 9)
+	m.Corrupt(c, 0) // harvest shard 0 (write epoch 0)
+	c.AdvanceEpoch()
+	// Victim renews: rewrites all shards at epoch 1.
+	for i := 0; i < 4; i++ {
+		put(i, "v1")
+	}
+	m.Corrupt(c, 1) // harvest shard 1 (write epoch 1)
+	c.AdvanceEpoch()
+	m.Corrupt(c, 2) // harvest shard 2 (write epoch 1)
+
+	if got := m.MaxAnyEpochShards("obj"); got != 3 {
+		t.Fatalf("any-epoch shards %d, want 3", got)
+	}
+	if got := m.MaxSameEpochShards("obj"); got != 2 {
+		t.Fatalf("same-epoch shards %d, want 2 (shards 1,2 at write epoch 1)", got)
+	}
+	d := m.DistinctShards("obj")
+	if len(d[0]) != 1 || len(d[1]) != 2 {
+		t.Fatalf("distinct shard map wrong: %v", d)
+	}
+}
+
+func TestCorruptInvalidNode(t *testing.T) {
+	c := seedCluster(2)
+	m := NewMobile(5, 1)
+	if m.Corrupt(c, 99) {
+		t.Fatal("corrupting a nonexistent node succeeded")
+	}
+}
+
+func TestBreaksSchedule(t *testing.T) {
+	b := Breaks{
+		Ciphers:    map[cascade.Scheme]int{cascade.AES256CTR: 10},
+		Signatures: sig.BreakSchedule{sig.Ed25519: 20},
+		HashBroken: 30,
+	}
+	if b.CipherBrokenAt(cascade.AES256CTR, 9) {
+		t.Fatal("broken early")
+	}
+	if !b.CipherBrokenAt(cascade.AES256CTR, 10) {
+		t.Fatal("not broken at epoch")
+	}
+	if b.CipherBrokenAt(cascade.ChaCha20, 1000) {
+		t.Fatal("unscheduled cipher broken")
+	}
+	if b.HashBrokenAt(29) || !b.HashBrokenAt(30) {
+		t.Fatal("hash break epoch wrong")
+	}
+	if b.AllCiphersBrokenAt(1000) {
+		t.Fatal("all ciphers reported broken with only one scheduled")
+	}
+	all := Breaks{Ciphers: map[cascade.Scheme]int{
+		cascade.AES256CTR: 1, cascade.ChaCha20: 2, cascade.SHA256CTR: 3,
+	}}
+	if !all.AllCiphersBrokenAt(3) {
+		t.Fatal("all ciphers broken not detected")
+	}
+	if all.AllCiphersBrokenAt(2) {
+		t.Fatal("all-broken claimed too early")
+	}
+}
+
+func TestZeroBreaksBreakNothing(t *testing.T) {
+	var b Breaks
+	if b.CipherBrokenAt(cascade.AES256CTR, 1<<30) || b.HashBrokenAt(1<<30) || b.AllCiphersBrokenAt(1<<30) {
+		t.Fatal("zero Breaks broke something")
+	}
+}

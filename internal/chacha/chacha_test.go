@@ -1,0 +1,161 @@
+package chacha
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+)
+
+// RFC 8439 §2.3.2 test vector: key 00..1f, nonce 000000090000004a00000000,
+// counter 1 — first keystream block.
+func TestRFC8439BlockVector(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	nonce, _ := hex.DecodeString("000000090000004a00000000")
+	c, err := New(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [BlockSize]byte
+	c.block(1, &out)
+	want, _ := hex.DecodeString(
+		"10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e" +
+			"d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+	if !bytes.Equal(out[:], want) {
+		t.Fatalf("block mismatch:\n got %x\nwant %x", out[:], want)
+	}
+}
+
+// RFC 8439 §2.4.2: full encryption test vector.
+func TestRFC8439EncryptionVector(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	nonce, _ := hex.DecodeString("000000000000004a00000000")
+	plaintext := []byte("Ladies and Gentlemen of the class of '99: If I could offer you " +
+		"only one tip for the future, sunscreen would be it.")
+	c, err := New(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(plaintext))
+	if err := c.XORKeyStream(dst, plaintext); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := hex.DecodeString(
+		"6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b" +
+			"f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8" +
+			"07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736" +
+			"5af90bbf74a35be6b40b8eedf2785e42874d")
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("ciphertext mismatch:\n got %x\nwant %x", dst, want)
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	for i := range key {
+		key[i] = byte(i * 3)
+	}
+	msg := []byte("stream ciphers are involutions under XOR")
+	c, _ := New(key, nonce)
+	ct := make([]byte, len(msg))
+	if err := c.XORKeyStream(ct, msg); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct, msg) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	pt := make([]byte, len(ct))
+	c2, _ := New(key, nonce)
+	if err := c2.XORKeyStream(pt, ct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestSeekableKeystream(t *testing.T) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	key[0] = 1
+	c, _ := New(key, nonce)
+	msg := make([]byte, 1000)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	whole := make([]byte, len(msg))
+	if err := c.XORKeyStreamAt(whole, msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Encrypt the tail separately, starting at an unaligned offset.
+	const cut = 129
+	tail := make([]byte, len(msg)-cut)
+	if err := c.XORKeyStreamAt(tail, msg[cut:], cut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail, whole[cut:]) {
+		t.Fatal("seek at unaligned offset diverges from streaming")
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	if _, err := New(make([]byte, 16), make([]byte, NonceSize)); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("short key: %v", err)
+	}
+	if _, err := New(make([]byte, KeySize), make([]byte, 8)); !errors.Is(err, ErrNonceSize) {
+		t.Fatalf("short nonce: %v", err)
+	}
+}
+
+func TestDstTooShort(t *testing.T) {
+	c, _ := New(make([]byte, KeySize), make([]byte, NonceSize))
+	if err := c.XORKeyStreamAt(make([]byte, 3), make([]byte, 4), 0); err == nil {
+		t.Fatal("short dst accepted")
+	}
+}
+
+func TestCounterOverflow(t *testing.T) {
+	c, _ := New(make([]byte, KeySize), make([]byte, NonceSize))
+	// Offset such that the final block index exceeds 2^32-1.
+	off := uint64(0xFFFFFFFF+1) * BlockSize
+	if err := c.XORKeyStreamAt(make([]byte, 1), make([]byte, 1), off); !errors.Is(err, ErrCounter) {
+		t.Fatalf("counter overflow not caught: %v", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	c, _ := New(make([]byte, KeySize), make([]byte, NonceSize))
+	if err := c.XORKeyStreamAt(nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctNoncesDistinctStreams(t *testing.T) {
+	key := make([]byte, KeySize)
+	n1 := make([]byte, NonceSize)
+	n2 := make([]byte, NonceSize)
+	n2[0] = 1
+	c1, _ := New(key, n1)
+	c2, _ := New(key, n2)
+	zero := make([]byte, 64)
+	s1 := make([]byte, 64)
+	s2 := make([]byte, 64)
+	c1.XORKeyStream(s1, zero)
+	c2.XORKeyStream(s2, zero)
+	if bytes.Equal(s1, s2) {
+		t.Fatal("different nonces produced identical keystreams")
+	}
+}
+
+func BenchmarkXORKeyStream64KiB(b *testing.B) {
+	c, _ := New(make([]byte, KeySize), make([]byte, NonceSize))
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.XORKeyStreamAt(buf, buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

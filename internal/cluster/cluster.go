@@ -1,0 +1,252 @@
+// Package cluster simulates the geo-distributed storage substrate that
+// every system in the paper's Table 1 assumes: administratively
+// independent nodes holding shards of archival objects, advancing through
+// epochs, and subject to corruption and failure injection.
+//
+// The simulation is deliberately information-centric rather than
+// network-centric: the paper's arguments are about which node holds which
+// bytes in which epoch, not about TCP behaviour. Every transfer is still
+// metered (bytes in/out per node and cluster-wide), because §3.2's case
+// against re-encryption and share renewal is an aggregate-throughput
+// argument and the numbers must come from somewhere measurable.
+//
+// The substitution is documented in DESIGN.md: real archives (tape silos,
+// cloud regions) are replaced by in-memory nodes exposing the same knobs —
+// node count, placement, epoch, corruption — that the paper's threat
+// model manipulates.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by this package.
+var (
+	ErrNodeDown     = errors.New("cluster: node offline")
+	ErrNoSuchNode   = errors.New("cluster: no such node")
+	ErrNoSuchShard  = errors.New("cluster: shard not found")
+	ErrDuplicateKey = errors.New("cluster: shard already present")
+)
+
+// ShardKey addresses one shard of one object version.
+type ShardKey struct {
+	Object string // object identifier
+	Index  int    // shard index within the object's encoding
+}
+
+// Shard is the unit of storage: opaque bytes plus placement metadata.
+type Shard struct {
+	Key   ShardKey
+	Epoch int // the epoch this shard version was written
+	Data  []byte
+}
+
+// Node is one administratively independent storage provider.
+type Node struct {
+	ID     int
+	Region string
+	Online bool
+
+	mu     sync.Mutex
+	shards map[ShardKey]Shard
+	// BytesIn/BytesOut meter all traffic through this node.
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Cluster is a set of nodes sharing an epoch clock.
+type Cluster struct {
+	mu    sync.Mutex
+	nodes []*Node
+	epoch int
+
+	// TotalBytesMoved sums every shard transfer in either direction.
+	TotalBytesMoved int64
+	Puts            int
+	Gets            int
+}
+
+// DefaultRegions is a plausible geo-dispersal for examples and tests.
+var DefaultRegions = []string{"us-east", "eu-west", "ap-south", "sa-east", "af-south", "au-sydney"}
+
+// New creates a cluster of n online nodes, assigning regions round-robin
+// from the provided list (DefaultRegions when nil).
+func New(n int, regions []string) *Cluster {
+	if len(regions) == 0 {
+		regions = DefaultRegions
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &Node{
+			ID:     i,
+			Region: regions[i%len(regions)],
+			Online: true,
+			shards: make(map[ShardKey]Shard),
+		})
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Epoch returns the current epoch.
+func (c *Cluster) Epoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// AdvanceEpoch increments the epoch clock and returns the new epoch.
+func (c *Cluster) AdvanceEpoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	return c.epoch
+}
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id int) (*Node, error) {
+	if id < 0 || id >= len(c.nodes) {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchNode, id)
+	}
+	return c.nodes[id], nil
+}
+
+// SetOnline flips a node's availability (failure injection).
+func (c *Cluster) SetOnline(id int, online bool) error {
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.Online = online
+	return nil
+}
+
+// Put stores a shard on a node at the current epoch, replacing any
+// previous version of the same key.
+func (c *Cluster) Put(nodeID int, key ShardKey, data []byte) error {
+	n, err := c.Node(nodeID)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.Online {
+		return fmt.Errorf("%w: node %d", ErrNodeDown, nodeID)
+	}
+	cp := append([]byte(nil), data...)
+	c.mu.Lock()
+	epoch := c.epoch
+	c.TotalBytesMoved += int64(len(data))
+	c.Puts++
+	c.mu.Unlock()
+	n.shards[key] = Shard{Key: key, Epoch: epoch, Data: cp}
+	n.BytesIn += int64(len(data))
+	return nil
+}
+
+// Get fetches a shard from a node.
+func (c *Cluster) Get(nodeID int, key ShardKey) (Shard, error) {
+	n, err := c.Node(nodeID)
+	if err != nil {
+		return Shard{}, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.Online {
+		return Shard{}, fmt.Errorf("%w: node %d", ErrNodeDown, nodeID)
+	}
+	sh, ok := n.shards[key]
+	if !ok {
+		return Shard{}, fmt.Errorf("%w: node %d %v", ErrNoSuchShard, nodeID, key)
+	}
+	out := Shard{Key: sh.Key, Epoch: sh.Epoch, Data: append([]byte(nil), sh.Data...)}
+	n.BytesOut += int64(len(sh.Data))
+	c.mu.Lock()
+	c.TotalBytesMoved += int64(len(sh.Data))
+	c.Gets++
+	c.mu.Unlock()
+	return out, nil
+}
+
+// Delete removes a shard from a node (no error if absent).
+func (c *Cluster) Delete(nodeID int, key ShardKey) error {
+	n, err := c.Node(nodeID)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.shards, key)
+	return nil
+}
+
+// Snapshot returns copies of all shards currently stored on a node —
+// what a corrupting adversary exfiltrates.
+func (c *Cluster) Snapshot(nodeID int) ([]Shard, error) {
+	n, err := c.Node(nodeID)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Shard, 0, len(n.shards))
+	for _, sh := range n.shards {
+		out = append(out, Shard{Key: sh.Key, Epoch: sh.Epoch, Data: append([]byte(nil), sh.Data...)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Object != out[j].Key.Object {
+			return out[i].Key.Object < out[j].Key.Object
+		}
+		return out[i].Key.Index < out[j].Key.Index
+	})
+	return out, nil
+}
+
+// StoredBytes returns the total bytes at rest across all nodes.
+func (c *Cluster) StoredBytes() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for _, sh := range n.shards {
+			total += int64(len(sh.Data))
+		}
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// ObjectBytes returns the bytes at rest attributable to one object.
+func (c *Cluster) ObjectBytes(object string) int64 {
+	var total int64
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for k, sh := range n.shards {
+			if k.Object == object {
+				total += int64(len(sh.Data))
+			}
+		}
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// Regions returns the distinct regions hosting at least one node.
+func (c *Cluster) Regions() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range c.nodes {
+		if !seen[n.Region] {
+			seen[n.Region] = true
+			out = append(out, n.Region)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := New(4, nil)
+	key := ShardKey{Object: "obj1", Index: 2}
+	data := []byte("shard payload")
+	if err := c.Put(1, key, data); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := c.Get(1, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sh.Data, data) {
+		t.Fatal("shard data mismatch")
+	}
+	if sh.Epoch != 0 {
+		t.Fatalf("epoch %d, want 0", sh.Epoch)
+	}
+}
+
+func TestGetMissingShard(t *testing.T) {
+	c := New(2, nil)
+	if _, err := c.Get(0, ShardKey{Object: "nope", Index: 0}); !errors.Is(err, ErrNoSuchShard) {
+		t.Fatalf("missing shard: %v", err)
+	}
+}
+
+func TestNodeBounds(t *testing.T) {
+	c := New(2, nil)
+	if err := c.Put(5, ShardKey{}, nil); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("bad node put: %v", err)
+	}
+	if _, err := c.Get(-1, ShardKey{}); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("bad node get: %v", err)
+	}
+}
+
+func TestOfflineNode(t *testing.T) {
+	c := New(3, nil)
+	key := ShardKey{Object: "o", Index: 0}
+	if err := c.Put(0, key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetOnline(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(0, key); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("offline get: %v", err)
+	}
+	if err := c.Put(0, key, []byte("y")); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("offline put: %v", err)
+	}
+	if err := c.SetOnline(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(0, key); err != nil {
+		t.Fatalf("restored get: %v", err)
+	}
+}
+
+func TestEpochStamping(t *testing.T) {
+	c := New(2, nil)
+	key := ShardKey{Object: "o", Index: 0}
+	c.Put(0, key, []byte("v0"))
+	c.AdvanceEpoch()
+	c.AdvanceEpoch()
+	c.Put(1, key, []byte("v2"))
+	s0, _ := c.Get(0, key)
+	s1, _ := c.Get(1, key)
+	if s0.Epoch != 0 || s1.Epoch != 2 {
+		t.Fatalf("epochs %d/%d, want 0/2", s0.Epoch, s1.Epoch)
+	}
+	if c.Epoch() != 2 {
+		t.Fatalf("cluster epoch %d", c.Epoch())
+	}
+}
+
+func TestPutReplacesAndRestamps(t *testing.T) {
+	c := New(1, nil)
+	key := ShardKey{Object: "o", Index: 0}
+	c.Put(0, key, []byte("old"))
+	c.AdvanceEpoch()
+	c.Put(0, key, []byte("new"))
+	sh, _ := c.Get(0, key)
+	if string(sh.Data) != "new" || sh.Epoch != 1 {
+		t.Fatalf("replace failed: %q at epoch %d", sh.Data, sh.Epoch)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	c := New(1, nil)
+	c.Put(0, ShardKey{Object: "a", Index: 0}, []byte("aaa"))
+	c.Put(0, ShardKey{Object: "b", Index: 1}, []byte("bbb"))
+	snap, err := c.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d shards", len(snap))
+	}
+	// Sorted by object then index.
+	if snap[0].Key.Object != "a" || snap[1].Key.Object != "b" {
+		t.Fatal("snapshot not sorted")
+	}
+	snap[0].Data[0] = 'X'
+	sh, _ := c.Get(0, ShardKey{Object: "a", Index: 0})
+	if sh.Data[0] == 'X' {
+		t.Fatal("snapshot aliases node storage")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	c := New(2, nil)
+	c.Put(0, ShardKey{Object: "o", Index: 0}, make([]byte, 100))
+	c.Put(1, ShardKey{Object: "o", Index: 1}, make([]byte, 100))
+	c.Get(0, ShardKey{Object: "o", Index: 0})
+	if c.StoredBytes() != 200 {
+		t.Fatalf("stored %d, want 200", c.StoredBytes())
+	}
+	if c.ObjectBytes("o") != 200 {
+		t.Fatalf("object bytes %d, want 200", c.ObjectBytes("o"))
+	}
+	if c.ObjectBytes("other") != 0 {
+		t.Fatal("phantom object bytes")
+	}
+	if c.TotalBytesMoved != 300 {
+		t.Fatalf("moved %d, want 300", c.TotalBytesMoved)
+	}
+	if c.Puts != 2 || c.Gets != 1 {
+		t.Fatalf("ops %d/%d, want 2/1", c.Puts, c.Gets)
+	}
+	n, _ := c.Node(0)
+	if n.BytesIn != 100 || n.BytesOut != 100 {
+		t.Fatalf("node accounting %d/%d", n.BytesIn, n.BytesOut)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := New(1, nil)
+	key := ShardKey{Object: "o", Index: 0}
+	c.Put(0, key, []byte("x"))
+	if err := c.Delete(0, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(0, key); !errors.Is(err, ErrNoSuchShard) {
+		t.Fatalf("shard survived delete: %v", err)
+	}
+	if err := c.Delete(0, key); err != nil {
+		t.Fatal("double delete errored")
+	}
+}
+
+func TestRegions(t *testing.T) {
+	c := New(8, []string{"x", "y"})
+	regions := c.Regions()
+	if len(regions) != 2 || regions[0] != "x" || regions[1] != "y" {
+		t.Fatalf("regions = %v", regions)
+	}
+	d := New(3, nil)
+	if len(d.Regions()) != 3 {
+		t.Fatalf("default regions = %v", d.Regions())
+	}
+}

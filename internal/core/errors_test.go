@@ -1,0 +1,104 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+func TestEncodeBadParams(t *testing.T) {
+	data := []byte("x")
+	bad := []Encoding{
+		Replication{N: 0},
+		Erasure{K: 0, N: 4},
+		TraditionalEncryption{K: 5, N: 4},
+		CascadeEncryption{K: 0, N: 0},
+		AONTRS{K: 0, N: 4},
+		SecretSharing{T: 5, N: 4},
+		PackedSharing{T: 4, K: 4, N: 4},
+		LRSS{T: 1, N: 4},
+	}
+	for _, enc := range bad {
+		if _, err := enc.Encode(data, rand.Reader); err == nil {
+			t.Errorf("%T with bad params encoded successfully", enc)
+		}
+	}
+}
+
+func TestEncodeEmptyData(t *testing.T) {
+	for _, enc := range []Encoding{
+		Replication{N: 2},
+		EntropicEncryption{K: 2, N: 4},
+	} {
+		if _, err := enc.Encode(nil, rand.Reader); !errors.Is(err, ErrEmptyData) {
+			t.Errorf("%T empty data: %v", enc, err)
+		}
+	}
+}
+
+func TestDecodeBelowThresholdFails(t *testing.T) {
+	data := make([]byte, 2000)
+	rand.Read(data)
+	for _, enc := range Figure1Encodings(cfgSmall()) {
+		e, err := enc.Encode(data, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, min := enc.Shards()
+		// Keep strictly fewer than the minimum.
+		for i := min - 1; i < len(e.Shards); i++ {
+			e.Shards[i] = nil
+		}
+		if _, err := enc.Decode(e); err == nil {
+			t.Errorf("%s decoded below its threshold", enc.Name())
+		}
+	}
+}
+
+func TestDecodeCorruptMetadata(t *testing.T) {
+	data := []byte("metadata must be validated")
+	cas := CascadeEncryption{K: 2, N: 4}
+	e, err := cas.Encode(data, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.PublicMeta = e.PublicMeta[:1]
+	if _, err := cas.Decode(e); !errors.Is(err, ErrDecodeFailed) {
+		t.Fatalf("truncated cascade meta: %v", err)
+	}
+
+	an := AONTRS{K: 2, N: 4}
+	e2, err := an.Encode(data, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.PublicMeta = []byte{1}
+	if _, err := an.Decode(e2); !errors.Is(err, ErrDecodeFailed) {
+		t.Fatalf("truncated aont meta: %v", err)
+	}
+}
+
+func TestReplicationDecodeNoReplicas(t *testing.T) {
+	r := Replication{N: 3}
+	e, _ := r.Encode([]byte("gone"), rand.Reader)
+	for i := range e.Shards {
+		e.Shards[i] = nil
+	}
+	if _, err := r.Decode(e); !errors.Is(err, ErrDecodeFailed) {
+		t.Fatalf("no replicas: %v", err)
+	}
+}
+
+func TestEncodedAccounting(t *testing.T) {
+	e := &Encoded{PlainLen: 100, Shards: [][]byte{make([]byte, 60), make([]byte, 60)}, PublicMeta: make([]byte, 30)}
+	if e.StoredBytes() != 150 {
+		t.Fatalf("stored = %d", e.StoredBytes())
+	}
+	if e.Overhead() != 1.5 {
+		t.Fatalf("overhead = %v", e.Overhead())
+	}
+	empty := &Encoded{}
+	if empty.Overhead() != 0 {
+		t.Fatal("zero-length overhead")
+	}
+}

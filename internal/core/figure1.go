@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"securearchive/internal/sec"
+)
+
+// Figure1Point is one measured point of the paper's Figure 1: an encoding
+// placed on the (security level, storage cost) plane.
+type Figure1Point struct {
+	Encoding         string
+	SecurityLevel    int // sec.Class ordinal: 0 none .. 4 ITS
+	SecurityClass    sec.Class
+	LeakageResilient bool
+	Overhead         float64 // measured bytes stored per plaintext byte
+}
+
+// Figure1Config fixes the dispersal geometry so every encoding is
+// measured at the same redundancy: n nodes, any n−k losses tolerated for
+// threshold-k encodings.
+type Figure1Config struct {
+	N         int // nodes / shares
+	K         int // decode threshold for rate-style encodings
+	T         int // privacy threshold for sharing-style encodings
+	PackCount int // k for packed sharing
+	ObjectLen int // measured object size in bytes
+}
+
+// DefaultFigure1Config measures 1 MiB objects over 8 nodes with a
+// 4-threshold — the geometry used in EXPERIMENTS.md.
+func DefaultFigure1Config() Figure1Config {
+	return Figure1Config{N: 8, K: 4, T: 4, PackCount: 3, ObjectLen: 1 << 20}
+}
+
+// Figure1Encodings instantiates the full Figure 1 roster under cfg.
+func Figure1Encodings(cfg Figure1Config) []Encoding {
+	return []Encoding{
+		Replication{N: cfg.N},
+		Erasure{K: cfg.K, N: cfg.N},
+		TraditionalEncryption{K: cfg.K, N: cfg.N},
+		CascadeEncryption{K: cfg.K, N: cfg.N},
+		AONTRS{K: cfg.K, N: cfg.N},
+		EntropicEncryption{K: cfg.K, N: cfg.N, AssumedEntropyBits: cfg.ObjectLen * 6}, // 6 bits/byte min-entropy
+		SecretSharing{T: cfg.T, N: cfg.N},
+		PackedSharing{T: cfg.T, K: cfg.PackCount, N: cfg.N},
+		LRSS{T: cfg.T, N: cfg.N},
+	}
+}
+
+// Figure1 measures every encoding: each one encodes a cfg.ObjectLen-byte
+// object drawn from rnd, and its real stored footprint becomes the cost
+// axis. Points are sorted by security level then overhead, mirroring the
+// chart's left-to-right reading.
+func Figure1(cfg Figure1Config, rnd io.Reader) ([]Figure1Point, error) {
+	data := make([]byte, cfg.ObjectLen)
+	if _, err := io.ReadFull(rnd, data); err != nil {
+		return nil, err
+	}
+	var pts []Figure1Point
+	for _, enc := range Figure1Encodings(cfg) {
+		e, err := enc.Encode(data, rnd)
+		if err != nil {
+			return nil, fmt.Errorf("core: figure1 %s: %w", enc.Name(), err)
+		}
+		// Round-trip check: a point that cannot decode is not a data
+		// encoding, whatever its cost.
+		if got, err := enc.Decode(e); err != nil || len(got) != len(data) {
+			return nil, fmt.Errorf("core: figure1 %s failed round trip: %v", enc.Name(), err)
+		}
+		pts = append(pts, Figure1Point{
+			Encoding:         enc.Name(),
+			SecurityLevel:    enc.Class().SecurityLevel(),
+			SecurityClass:    enc.Class(),
+			LeakageResilient: enc.LeakageResilient(),
+			Overhead:         e.Overhead(),
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].SecurityLevel != pts[j].SecurityLevel {
+			return pts[i].SecurityLevel < pts[j].SecurityLevel
+		}
+		return pts[i].Overhead < pts[j].Overhead
+	})
+	return pts, nil
+}
+
+// Figure1Shape checks the qualitative orderings the paper's chart
+// asserts, returning a list of violated claims (empty = the measured
+// chart has the paper's shape). The claims:
+//
+//  1. Erasure coding costs less than replication.
+//  2. Traditional encryption ≈ erasure coding cost (within 10%).
+//  3. AONT-RS ≈ erasure coding cost (within 10%).
+//  4. Secret sharing ≈ replication cost (within 10%) — perfect secrecy's
+//     unavoidable price.
+//  5. Packed sharing cuts secret sharing's cost by ≈ its pack factor.
+//  6. LRSS costs strictly more than secret sharing.
+//  7. Security ordering: ITS encodings (sharing family) > entropic >
+//     computational (encryption family) > none (replication/EC).
+func Figure1Shape(pts []Figure1Point) []string {
+	get := func(name string) *Figure1Point {
+		for i := range pts {
+			if pts[i].Encoding == name {
+				return &pts[i]
+			}
+		}
+		return nil
+	}
+	var bad []string
+	rep, ec := get("Replication"), get("Erasure Coding")
+	enc, aont := get("Traditional Encryption"), get("AONT-RS")
+	ss, pss, lr := get("Secret Sharing"), get("Packed Secret Sharing"), get("Leakage-Resilient Secret Sharing")
+	ent := get("Entropically Secure Encryption")
+	if rep == nil || ec == nil || enc == nil || aont == nil || ss == nil || pss == nil || lr == nil || ent == nil {
+		return []string{"missing encodings"}
+	}
+	within := func(a, b, tol float64) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= tol*b
+	}
+	if ec.Overhead >= rep.Overhead {
+		bad = append(bad, "erasure coding not cheaper than replication")
+	}
+	if !within(enc.Overhead, ec.Overhead, 0.10) {
+		bad = append(bad, "traditional encryption cost far from erasure coding")
+	}
+	if !within(aont.Overhead, ec.Overhead, 0.10) {
+		bad = append(bad, "AONT-RS cost far from erasure coding")
+	}
+	if !within(ss.Overhead, rep.Overhead, 0.10) {
+		bad = append(bad, "secret sharing cost far from replication")
+	}
+	if pss.Overhead >= ss.Overhead {
+		bad = append(bad, "packed sharing did not beat secret sharing cost")
+	}
+	if lr.Overhead <= ss.Overhead {
+		bad = append(bad, "LRSS not costlier than secret sharing")
+	}
+	if ss.SecurityLevel <= ent.SecurityLevel || ent.SecurityLevel <= enc.SecurityLevel || enc.SecurityLevel <= rep.SecurityLevel {
+		bad = append(bad, "security ordering violated")
+	}
+	if !lr.LeakageResilient || ss.LeakageResilient {
+		bad = append(bad, "leakage-resilience flags wrong")
+	}
+	return bad
+}

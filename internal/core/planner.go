@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RenewalPlan answers the operational question §3.2 leaves open: an
+// archive can only renew so many objects per epoch, so shares go stale —
+// and stale shares are exactly what the mobile adversary collects. The
+// plan computes the worst-case share age under a renewal budget and
+// checks it against the adversary's accumulation rate.
+//
+// Safety condition: an adversary corrupting AdversaryBudget nodes per
+// epoch needs ceil(Threshold / AdversaryBudget) epochs to gather a
+// threshold of shares FROM THE SAME POLYNOMIAL — but only if the object
+// is not renewed in between. With round-robin renewal of Objects objects
+// at PerEpochRenewals per epoch, every object's shares are refreshed
+// every ceil(Objects / PerEpochRenewals) epochs. The plan is safe when
+// the refresh interval is strictly smaller than the gathering time.
+type RenewalPlan struct {
+	Objects          int
+	PerEpochRenewals int
+	Threshold        int
+	AdversaryBudget  int
+
+	// RefreshIntervalEpochs is the worst-case epochs between renewals of
+	// one object.
+	RefreshIntervalEpochs int
+	// GatherEpochs is the adversary's minimum epochs to collect a
+	// threshold against a non-renewing object.
+	GatherEpochs int
+	// Safe reports whether renewal outpaces accumulation.
+	Safe bool
+}
+
+// ErrBadPlan reports invalid planner inputs.
+var ErrBadPlan = errors.New("core: invalid renewal plan parameters")
+
+// PlanRenewal computes the safety margin of a renewal schedule.
+func PlanRenewal(objects, perEpochRenewals, threshold, adversaryBudget int) (*RenewalPlan, error) {
+	if objects < 1 || perEpochRenewals < 1 || threshold < 1 || adversaryBudget < 0 {
+		return nil, fmt.Errorf("%w: objects=%d renewals=%d t=%d b=%d",
+			ErrBadPlan, objects, perEpochRenewals, threshold, adversaryBudget)
+	}
+	p := &RenewalPlan{
+		Objects:          objects,
+		PerEpochRenewals: perEpochRenewals,
+		Threshold:        threshold,
+		AdversaryBudget:  adversaryBudget,
+	}
+	p.RefreshIntervalEpochs = int(math.Ceil(float64(objects) / float64(perEpochRenewals)))
+	if adversaryBudget == 0 {
+		p.GatherEpochs = math.MaxInt
+		p.Safe = true
+		return p, nil
+	}
+	p.GatherEpochs = int(math.Ceil(float64(threshold) / float64(adversaryBudget)))
+	// Strictly smaller: if the adversary can finish gathering in the same
+	// window the refresh lands, ordering within the epoch decides, and an
+	// archive does not bet a century of confidentiality on intra-epoch
+	// ordering.
+	p.Safe = p.RefreshIntervalEpochs < p.GatherEpochs
+	return p, nil
+}
+
+// MinRenewalsPerEpoch returns the smallest per-epoch renewal budget that
+// makes the schedule safe, or an error when no budget suffices (the
+// adversary gathers a threshold within one epoch — renewal cannot help,
+// see TestRenewalRaceLost).
+func MinRenewalsPerEpoch(objects, threshold, adversaryBudget int) (int, error) {
+	if adversaryBudget <= 0 {
+		return 1, nil
+	}
+	gather := int(math.Ceil(float64(threshold) / float64(adversaryBudget)))
+	if gather <= 1 {
+		return 0, fmt.Errorf("%w: adversary gathers a threshold in one epoch; no renewal rate helps", ErrBadPlan)
+	}
+	// Need ceil(objects / r) < gather  ⇔  r > objects / (gather − 1)...
+	// smallest integer r with ceil(objects/r) ≤ gather−1 ⇔
+	// r ≥ ceil(objects / (gather−1)).
+	return int(math.Ceil(float64(objects) / float64(gather-1))), nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Policy is the framework's answer to the paper's closing question: given
+// an archive's threat model and budget, which point of the trade-off
+// space should it occupy? The rules encode §3–§4's analysis:
+//
+//   - Confidentiality horizons beyond the cryptographic-confidence window
+//     demand information-theoretic encodings; within it, cascade
+//     encryption hedges cheaply and AONT-RS removes key management.
+//   - ITS at replication cost is the default (Shamir); packed sharing
+//     buys back a factor ≈k when the availability budget tolerates a
+//     higher reconstruction threshold; LRSS pays more for side-channel
+//     resilience.
+//   - ITS encodings must be paired with proactive renewal against the
+//     mobile adversary; the policy returns the renewal obligation.
+type Requirements struct {
+	// HorizonYears is how long confidentiality must hold.
+	HorizonYears int
+	// MaxOverhead is the storage budget, in stored bytes per byte.
+	MaxOverhead float64
+	// LeakageThreat enables bounded-local-leakage resistance.
+	LeakageThreat bool
+	// HighEntropyData asserts the data is incompressible (enables the
+	// entropic option).
+	HighEntropyData bool
+	// Nodes and Threshold fix the dispersal geometry.
+	Nodes     int
+	Threshold int
+}
+
+// CryptoConfidenceYears is the window within which the policy treats
+// computational security as acceptable. The paper's §3.1 argues no such
+// window is provable; 30 years reflects the DES/MD5 empirical lifetimes
+// it cites.
+const CryptoConfidenceYears = 30
+
+// Recommendation is the policy output.
+type Recommendation struct {
+	Encoding Encoding
+	// NeedsProactiveRenewal is set for ITS encodings: without share
+	// refresh, the mobile adversary wins eventually (E5).
+	NeedsProactiveRenewal bool
+	// Rationale explains the choice in the paper's terms.
+	Rationale string
+	// Caveats list the residual risks of the choice.
+	Caveats []string
+}
+
+// ErrUnsatisfiable reports that no encoding meets the requirements — the
+// paper's trade-off biting.
+var ErrUnsatisfiable = errors.New("core: requirements unsatisfiable under the security/cost trade-off")
+
+// Recommend picks an encoding for the requirements, or explains why none
+// exists.
+func Recommend(req Requirements) (*Recommendation, error) {
+	if req.Nodes < 2 || req.Threshold < 1 || req.Threshold >= req.Nodes {
+		return nil, fmt.Errorf("%w: need 1 <= threshold < nodes", ErrUnsatisfiable)
+	}
+	n, t := req.Nodes, req.Threshold
+	ecRate := float64(n) / float64(t)
+
+	longTerm := req.HorizonYears > CryptoConfidenceYears
+
+	if !longTerm {
+		// Computational security acceptable: cascade if the budget allows
+		// erasure-coded dispersal, else single-cipher.
+		if req.MaxOverhead < ecRate {
+			return nil, fmt.Errorf("%w: even erasure-coded ciphertext needs %.2fx, budget is %.2fx",
+				ErrUnsatisfiable, ecRate, req.MaxOverhead)
+		}
+		rec := &Recommendation{
+			Encoding:  CascadeEncryption{K: t, N: n},
+			Rationale: "horizon within the crypto-confidence window: cascade encryption hedges single-family breaks at erasure-coding cost",
+			Caveats: []string{
+				"Harvest-Now-Decrypt-Later: ciphertext stolen today falls when every cascade family falls",
+				"re-encryption/wrapping campaigns pay the full archive read-out time (§3.2)",
+			},
+		}
+		return rec, nil
+	}
+
+	// Long horizon: information-theoretic at rest required.
+	if req.LeakageThreat {
+		lrssCost := estimateLRSSOverhead(n)
+		if req.MaxOverhead < lrssCost {
+			return nil, fmt.Errorf("%w: leakage-resilient ITS needs ≈%.0fx, budget is %.2fx",
+				ErrUnsatisfiable, lrssCost, req.MaxOverhead)
+		}
+		return &Recommendation{
+			Encoding:              LRSS{T: t, N: n},
+			NeedsProactiveRenewal: true,
+			Rationale:             "long horizon + side-channel threat: extractor-wrapped sharing resists bounded local leakage",
+			Caveats: []string{
+				"storage cost grows with committee size (Θ(n²·L) total)",
+				"renewal protocol for LRSS shares is an open problem (§4); fall back to re-sharing",
+			},
+		}, nil
+	}
+	if req.MaxOverhead >= float64(n) {
+		return &Recommendation{
+			Encoding:              SecretSharing{T: t, N: n},
+			NeedsProactiveRenewal: true,
+			Rationale:             "long horizon: perfect secrecy at its provably unavoidable replication-grade cost",
+			Caveats: []string{
+				"proactive renewal required against the mobile adversary (E5)",
+				"renewal traffic is Θ(n²) per object (E6)",
+			},
+		}, nil
+	}
+	// Budget below n×: packed sharing trades availability for cost.
+	k := pickPackCount(n, t, req.MaxOverhead)
+	if k >= 2 {
+		return &Recommendation{
+			Encoding:              PackedSharing{T: t, K: k, N: n},
+			NeedsProactiveRenewal: true,
+			Rationale: fmt.Sprintf("long horizon under a %.1fx budget: packed sharing amortises %d secrets per polynomial (≈%.1fx)",
+				req.MaxOverhead, k, float64(n)/float64(k)),
+			Caveats: []string{
+				fmt.Sprintf("reconstruction needs t+k = %d shares: erasure tolerance drops to %d", t+k, n-t-k),
+				"proactive renewal for packed sharings must refresh whole blocks",
+			},
+		}, nil
+	}
+	if req.HighEntropyData && req.MaxOverhead >= ecRate*1.3 {
+		return &Recommendation{
+			Encoding:              EntropicEncryption{K: t, N: n, AssumedEntropyBits: 0},
+			NeedsProactiveRenewal: false,
+			Rationale:             "long horizon, tight budget, incompressible data: entropic security at near-erasure cost",
+			Caveats: []string{
+				"the guarantee is conditional on data min-entropy: compressible data voids it",
+				"the short key is still long-lived secret material needing ITS protection",
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: information-theoretic confidentiality needs ≥%.1fx (packed) or high-entropy data; budget is %.2fx",
+		ErrUnsatisfiable, float64(n)/float64(maxPackCount(n, t)), req.MaxOverhead)
+}
+
+// pickPackCount returns the largest pack factor k with t+k <= n-1 (one
+// spare share of availability) whose cost n/k fits the budget; 0 if none.
+func pickPackCount(n, t int, budget float64) int {
+	for k := maxPackCount(n, t); k >= 2; k-- {
+		if float64(n)/float64(k) <= budget {
+			return k
+		}
+	}
+	return 0
+}
+
+func maxPackCount(n, t int) int {
+	k := n - t - 1
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// estimateLRSSOverhead approximates the LRSS encoding's measured cost for
+// large objects: each of n parties stores ≈(n+1)·L bytes.
+func estimateLRSSOverhead(n int) float64 {
+	return float64(n * (n + 1))
+}

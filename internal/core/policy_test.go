@@ -1,0 +1,95 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"securearchive/internal/sec"
+)
+
+// TestRecommendationsHonourBudget is the policy↔measurement consistency
+// property: for a grid of requirement combinations, whenever Recommend
+// returns an encoding, that encoding's MEASURED overhead on a real object
+// must not exceed the stated budget (small objects get a constant-term
+// allowance). The policy is not allowed to promise what the encodings
+// cannot deliver.
+func TestRecommendationsHonourBudget(t *testing.T) {
+	data := make([]byte, 32<<10)
+	rand.Read(data)
+	for _, horizon := range []int{5, 50, 200} {
+		for _, budget := range []float64{1.2, 2.2, 3.0, 8.0, 100.0} {
+			for _, leak := range []bool{false, true} {
+				req := Requirements{
+					HorizonYears:    horizon,
+					MaxOverhead:     budget,
+					LeakageThreat:   leak,
+					HighEntropyData: true,
+					Nodes:           8,
+					Threshold:       4,
+				}
+				rec, err := Recommend(req)
+				if errors.Is(err, ErrUnsatisfiable) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%+v: %v", req, err)
+				}
+				e, err := rec.Encoding.Encode(data, rand.Reader)
+				if err != nil {
+					t.Fatalf("%+v: encode: %v", req, err)
+				}
+				if oh := e.Overhead(); oh > budget*1.05 {
+					t.Errorf("req %+v: recommended %s measures %.2fx over budget %.2fx",
+						req, rec.Encoding.Name(), oh, budget)
+				}
+				// Long horizons must never get merely computational
+				// encodings.
+				if horizon > CryptoConfidenceYears {
+					cls := rec.Encoding.Class()
+					if cls != sec.IT && cls != sec.Entropic {
+						t.Errorf("req %+v: long horizon got %s (%s)", req, rec.Encoding.Name(), cls)
+					}
+				}
+				// Leakage threats must get leakage-resilient encodings
+				// (when satisfiable at all under a long horizon).
+				if leak && horizon > CryptoConfidenceYears && !rec.Encoding.LeakageResilient() {
+					t.Errorf("req %+v: leakage threat got %s", req, rec.Encoding.Name())
+				}
+				// ITS recommendations must carry the renewal obligation.
+				if rec.Encoding.Class() == sec.IT && !rec.NeedsProactiveRenewal {
+					t.Errorf("req %+v: ITS encoding without renewal obligation", req)
+				}
+			}
+		}
+	}
+}
+
+// TestRecommendationRoundTrips: whatever the policy recommends must
+// actually work end to end on a vault.
+func TestRecommendationRoundTrips(t *testing.T) {
+	reqs := []Requirements{
+		{HorizonYears: 10, MaxOverhead: 2.5, Nodes: 8, Threshold: 4},
+		{HorizonYears: 100, MaxOverhead: 10, Nodes: 8, Threshold: 4},
+		{HorizonYears: 100, MaxOverhead: 3, Nodes: 8, Threshold: 4},
+		{HorizonYears: 100, MaxOverhead: 200, LeakageThreat: true, Nodes: 8, Threshold: 4},
+	}
+	data := []byte("policy choices must be runnable, not rhetorical")
+	for _, req := range reqs {
+		rec, err := Recommend(req)
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		e, err := rec.Encoding.Encode(data, rand.Reader)
+		if err != nil {
+			t.Fatalf("%s: %v", rec.Encoding.Name(), err)
+		}
+		got, err := rec.Encoding.Decode(e)
+		if err != nil {
+			t.Fatalf("%s: %v", rec.Encoding.Name(), err)
+		}
+		if string(got) != string(data) {
+			t.Fatalf("%s: round trip mismatch", rec.Encoding.Name())
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"securearchive/internal/cluster"
+	"securearchive/internal/group"
+	"securearchive/internal/sig"
+	"securearchive/internal/tstamp"
+)
+
+// Vault is the framework's user-facing archive: an Encoding composed with
+// cluster dispersal, per-object integrity chains, and renewal. It is what
+// the examples and the archivectl CLI drive.
+type Vault struct {
+	Cluster  *cluster.Cluster
+	Encoding Encoding
+	// IntegrityMode selects hash chains (cheap) or commitment chains
+	// (LINCOS-style, confidentiality-preserving).
+	IntegrityMode tstamp.RefMode
+	Group         *group.Group
+	rnd           io.Reader
+
+	objects map[string]*vaultObject
+}
+
+type vaultObject struct {
+	enc   *Encoded
+	chain *tstamp.Chain
+}
+
+// Errors returned by Vault.
+var (
+	ErrNotFound = errors.New("core: object not found")
+	ErrExists   = errors.New("core: object already exists")
+)
+
+// VaultOption configures NewVault.
+type VaultOption func(*Vault)
+
+// WithIntegrityMode selects the timestamp-chain reference mode.
+func WithIntegrityMode(m tstamp.RefMode) VaultOption {
+	return func(v *Vault) { v.IntegrityMode = m }
+}
+
+// WithGroup sets the commitment group (Test for fast runs).
+func WithGroup(g *group.Group) VaultOption {
+	return func(v *Vault) { v.Group = g }
+}
+
+// WithRand injects the randomness source (tests).
+func WithRand(r io.Reader) VaultOption {
+	return func(v *Vault) { v.rnd = r }
+}
+
+// NewVault builds a vault over the cluster with the encoding. The cluster
+// must have at least as many nodes as the encoding has shards.
+func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, error) {
+	n, _ := enc.Shards()
+	if n > c.Size() {
+		return nil, fmt.Errorf("core: encoding needs %d nodes, cluster has %d", n, c.Size())
+	}
+	v := &Vault{
+		Cluster:       c,
+		Encoding:      enc,
+		IntegrityMode: tstamp.RefCommitment,
+		Group:         group.Default(),
+		rnd:           rand.Reader,
+		objects:       make(map[string]*vaultObject),
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	return v, nil
+}
+
+// Put archives data under id: encode, disperse one shard per node, and
+// open an integrity chain.
+func (v *Vault) Put(id string, data []byte) error {
+	if _, ok := v.objects[id]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	enc, err := v.Encoding.Encode(data, v.rnd)
+	if err != nil {
+		return err
+	}
+	for i, sh := range enc.Shards {
+		if sh == nil {
+			continue
+		}
+		if err := v.Cluster.Put(i, cluster.ShardKey{Object: id, Index: i}, sh); err != nil {
+			return err
+		}
+	}
+	chain, err := tstamp.New(data, v.IntegrityMode, sig.Ed25519, v.Cluster.Epoch(), v.Group, v.rnd)
+	if err != nil {
+		return err
+	}
+	// The vault keeps client-side secrets and the chain; shards live on
+	// nodes only.
+	v.objects[id] = &vaultObject{
+		enc: &Encoded{
+			Scheme:       enc.Scheme,
+			PlainLen:     enc.PlainLen,
+			ClientSecret: enc.ClientSecret,
+			PublicMeta:   enc.PublicMeta,
+		},
+		chain: chain,
+	}
+	return nil
+}
+
+// Get retrieves and integrity-checks an object.
+func (v *Vault) Get(id string) ([]byte, error) {
+	obj, ok := v.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	n, _ := v.Encoding.Shards()
+	shards := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		sh, err := v.Cluster.Get(i, cluster.ShardKey{Object: id, Index: i})
+		if err != nil {
+			continue
+		}
+		shards[i] = sh.Data
+	}
+	enc := &Encoded{
+		Scheme:       obj.enc.Scheme,
+		PlainLen:     obj.enc.PlainLen,
+		Shards:       shards,
+		ClientSecret: obj.enc.ClientSecret,
+		PublicMeta:   obj.enc.PublicMeta,
+	}
+	data, err := v.Encoding.Decode(enc)
+	if err != nil {
+		return nil, err
+	}
+	if err := obj.chain.VerifyData(data); err != nil {
+		return nil, fmt.Errorf("core: integrity chain rejects data for %s: %w", id, err)
+	}
+	return data, nil
+}
+
+// RenewIntegrity appends a fresh signature (rotating schemes) to the
+// object's timestamp chain.
+func (v *Vault) RenewIntegrity(id string, scheme sig.Scheme) error {
+	obj, ok := v.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return obj.chain.Renew(scheme, v.Cluster.Epoch(), v.rnd)
+}
+
+// RenewShares re-encodes the object with fresh randomness and rewrites
+// every shard — the generic renewal that works for any encoding (at full
+// re-encode cost; sharing-specific systems do better, see pss).
+func (v *Vault) RenewShares(id string) error {
+	data, err := v.Get(id)
+	if err != nil {
+		return err
+	}
+	obj := v.objects[id]
+	enc, err := v.Encoding.Encode(data, v.rnd)
+	if err != nil {
+		return err
+	}
+	for i, sh := range enc.Shards {
+		if sh == nil {
+			continue
+		}
+		if err := v.Cluster.Put(i, cluster.ShardKey{Object: id, Index: i}, sh); err != nil {
+			return err
+		}
+	}
+	obj.enc.ClientSecret = enc.ClientSecret
+	obj.enc.PublicMeta = enc.PublicMeta
+	obj.enc.PlainLen = enc.PlainLen
+	return nil
+}
+
+// ExportEvidence serialises an object's timestamp chain for off-archive
+// escrow: integrity evidence is itself archival data and must survive
+// this process. In commitment mode the export contains no digest of the
+// data — it is safe to publish.
+func (v *Vault) ExportEvidence(id string) ([]byte, error) {
+	obj, ok := v.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return obj.chain.Marshal()
+}
+
+// Chain exposes an object's timestamp chain.
+func (v *Vault) Chain(id string) *tstamp.Chain {
+	if obj, ok := v.objects[id]; ok {
+		return obj.chain
+	}
+	return nil
+}
+
+// StorageCost measures the object's at-rest overhead from the cluster.
+func (v *Vault) StorageCost(id string) float64 {
+	obj, ok := v.objects[id]
+	if !ok || obj.enc.PlainLen == 0 {
+		return 0
+	}
+	return float64(v.Cluster.ObjectBytes(id)) / float64(obj.enc.PlainLen)
+}
+
+// Objects lists stored object ids (unordered).
+func (v *Vault) Objects() []string {
+	out := make([]string, 0, len(v.objects))
+	for id := range v.objects {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"testing"
+
+	"securearchive/internal/cluster"
+	"securearchive/internal/group"
+	"securearchive/internal/sig"
+	"securearchive/internal/tstamp"
+)
+
+func testVault(t *testing.T, enc Encoding) (*Vault, *cluster.Cluster) {
+	t.Helper()
+	c := cluster.New(8, nil)
+	v, err := NewVault(c, enc, WithGroup(group.Test()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, c
+}
+
+func TestVaultPutGet(t *testing.T) {
+	v, _ := testVault(t, SecretSharing{T: 4, N: 8})
+	data := []byte("a record in the vault")
+	if err := v.Put("rec1", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Get("rec1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mismatch")
+	}
+	if len(v.Objects()) != 1 {
+		t.Fatal("object listing wrong")
+	}
+}
+
+func TestVaultDuplicateAndMissing(t *testing.T) {
+	v, _ := testVault(t, SecretSharing{T: 4, N: 8})
+	if err := v.Put("x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Put("x", []byte("2")); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate put: %v", err)
+	}
+	if _, err := v.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing get: %v", err)
+	}
+}
+
+func TestVaultSurvivesNodeFailures(t *testing.T) {
+	v, c := testVault(t, SecretSharing{T: 4, N: 8})
+	data := []byte("resilient record")
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, 5, 7} { // 4 of 8 down, t=4 remain
+		c.SetOnline(n, false)
+	}
+	got, err := v.Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mismatch under failures")
+	}
+}
+
+func TestVaultIntegrityChainRejectsTamperedCluster(t *testing.T) {
+	// Replication has no inherent integrity: the chain must catch node
+	// tampering when every replica is modified identically.
+	v, c := testVault(t, Replication{N: 8})
+	data := []byte("tamper-evident")
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	evil := []byte("tampered!!!!!!")
+	for i := 0; i < 8; i++ {
+		c.Put(i, cluster.ShardKey{Object: "r", Index: i}, evil)
+	}
+	if _, err := v.Get("r"); err == nil {
+		t.Fatal("tampered replicas accepted")
+	}
+}
+
+func TestVaultRenewIntegrityRotation(t *testing.T) {
+	v, _ := testVault(t, SecretSharing{T: 4, N: 8})
+	if err := v.Put("r", []byte("rotate me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RenewIntegrity("r", sig.ECDSAP256); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RenewIntegrity("r", sig.RSAPSS2048); err != nil {
+		t.Fatal(err)
+	}
+	chain := v.Chain("r")
+	if chain.Len() != 3 {
+		t.Fatalf("chain length %d, want 3", chain.Len())
+	}
+	if err := chain.Verify(100, sig.BreakSchedule{sig.Ed25519: 50}); err != nil {
+		t.Fatalf("rotated chain invalid under ed25519 break: %v", err)
+	}
+}
+
+func TestVaultRenewShares(t *testing.T) {
+	v, c := testVault(t, SecretSharing{T: 4, N: 8})
+	data := []byte("refresh my shards")
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.Get(0, cluster.ShardKey{Object: "r", Index: 0})
+	if err := v.RenewShares("r"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.Get(0, cluster.ShardKey{Object: "r", Index: 0})
+	if bytes.Equal(before.Data, after.Data) {
+		t.Fatal("shard unchanged after renewal")
+	}
+	got, err := v.Get("r")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data lost in renewal: %v", err)
+	}
+}
+
+func TestVaultHashIntegrityMode(t *testing.T) {
+	c := cluster.New(8, nil)
+	v, err := NewVault(c, TraditionalEncryption{K: 4, N: 8},
+		WithIntegrityMode(tstamp.RefHash), WithGroup(group.Test()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hash-chained record")
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Get("r")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("hash-mode round trip: %v", err)
+	}
+}
+
+func TestVaultTooSmallCluster(t *testing.T) {
+	c := cluster.New(4, nil)
+	if _, err := NewVault(c, SecretSharing{T: 4, N: 8}); err == nil {
+		t.Fatal("oversubscribed cluster accepted")
+	}
+}
+
+func TestVaultExportEvidence(t *testing.T) {
+	v, _ := testVault(t, SecretSharing{T: 4, N: 8})
+	data := []byte("evidence must outlive the process")
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RenewIntegrity("r", sig.ECDSAP256); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := v.ExportEvidence("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := tstamp.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Len() != 2 {
+		t.Fatalf("exported chain has %d links", chain.Len())
+	}
+	if err := chain.Verify(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Commitment mode: the export must not contain the data's digest.
+	d := sha256.Sum256(data)
+	if bytes.Contains(blob, d[:]) {
+		t.Fatal("exported evidence leaks the data digest")
+	}
+	if _, err := v.ExportEvidence("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing object: %v", err)
+	}
+}
+
+func TestVaultStorageCost(t *testing.T) {
+	v, _ := testVault(t, SecretSharing{T: 4, N: 8})
+	data := make([]byte, 4096)
+	rand.Read(data)
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	if oh := v.StorageCost("r"); oh < 7.9 || oh > 8.1 {
+		t.Fatalf("secret sharing vault cost %.2f, want 8", oh)
+	}
+	if v.StorageCost("nope") != 0 {
+		t.Fatal("phantom cost")
+	}
+}

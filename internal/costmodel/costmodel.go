@@ -1,0 +1,182 @@
+// Package costmodel reproduces the paper's §3.2 re-encryption arithmetic:
+// how long it takes to read, re-encrypt, and write back an entire archive,
+// and why that duration makes emergency re-encryption impractical at
+// archive scale (experiment E3).
+//
+// The paper's method: a conservative floor on re-encryption time is
+// archive size divided by aggregate read throughput. Writing roughly
+// doubles it (write bandwidth and verify passes), and reserving capacity
+// for foreground traffic doubles it again. The four systems it works
+// through:
+//
+//	Oak Ridge HPSS   80 PB   @ 400 TB/day  → 6.75 months read-only
+//	ECMWF MARS       37.9 PB @ 120 TB/day  → 10.35 months
+//	CERN EOS         230 PB  @ 909 TB/day  → 8.3 months
+//	Pergamum (hypo)  10 PB   @ 5 GB/s      → 0.76 months
+//
+// Those same constants are embedded here as the PaperArchives table, and
+// the model extends the sweep to the exabyte/zettabyte archives the
+// introduction envisions. It also prices proactive-share-renewal traffic
+// (the pss package's Θ(n²·L)) in the same time units, so the two escape
+// hatches the paper discusses can be compared side by side.
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"securearchive/internal/media"
+	"securearchive/internal/pss"
+)
+
+// Time constants. The paper converts days to months; back-solving its
+// stated figures (10.35, 8.3, 0.76 months) shows it used the Gregorian
+// average month of 30.44 days. (Its HPSS row, 6.75 months, implies a
+// slightly different convention — 200 days/6.75 ≈ 29.6 — an internal
+// inconsistency we reproduce to within 3%; see EXPERIMENTS.md.)
+const (
+	SecondsPerDay = 86400.0
+	DaysPerMonth  = 30.44
+)
+
+// ErrBadParams reports non-positive sizes or rates.
+var ErrBadParams = errors.New("costmodel: parameters must be positive")
+
+// Archive describes one archive's size and aggregate throughput.
+type Archive struct {
+	Name string
+	// TotalBytes is the archive's stored size in bytes.
+	TotalBytes float64
+	// ReadBytesPerDay is aggregate read throughput in bytes per day.
+	ReadBytesPerDay float64
+}
+
+// PaperArchives are the four systems §3.2 walks through, with the paper's
+// own conservative numbers.
+func PaperArchives() []Archive {
+	const TB = 1e12
+	const PB = 1e15
+	return []Archive{
+		{Name: "Oak Ridge HPSS", TotalBytes: 80 * PB, ReadBytesPerDay: 400 * TB},
+		{Name: "ECMWF MARS", TotalBytes: 37.9 * PB, ReadBytesPerDay: 120 * TB},
+		{Name: "CERN EOS", TotalBytes: 230 * PB, ReadBytesPerDay: 909 * TB},
+		{Name: "Pergamum (10PB tape)", TotalBytes: 10 * PB, ReadBytesPerDay: 5e9 * SecondsPerDay},
+	}
+}
+
+// Scenario selects which §3.2 multipliers apply.
+type Scenario struct {
+	// WriteBack doubles the duration: data must be re-written and
+	// verified, and archival writes are no faster than reads.
+	WriteBack bool
+	// ForegroundReserve doubles the duration again: the archive keeps
+	// serving ingest and reads during the campaign.
+	ForegroundReserve bool
+}
+
+// Multiplier returns the combined factor over the read-only floor.
+func (s Scenario) Multiplier() float64 {
+	m := 1.0
+	if s.WriteBack {
+		m *= 2
+	}
+	if s.ForegroundReserve {
+		m *= 2
+	}
+	return m
+}
+
+// ReencryptMonths returns the re-encryption campaign duration in months
+// for the archive under the scenario.
+func ReencryptMonths(a Archive, s Scenario) (float64, error) {
+	if a.TotalBytes <= 0 || a.ReadBytesPerDay <= 0 {
+		return 0, fmt.Errorf("%w: %+v", ErrBadParams, a)
+	}
+	days := a.TotalBytes / a.ReadBytesPerDay * s.Multiplier()
+	return days / DaysPerMonth, nil
+}
+
+// ExposureWindow is the paper's bottom line: during a re-encryption
+// campaign triggered by a cipher break, not-yet-re-encrypted data remains
+// exposed for up to the full campaign duration. Expressed in months.
+func ExposureWindow(a Archive, s Scenario) (float64, error) {
+	return ReencryptMonths(a, s)
+}
+
+// Sweep evaluates the campaign duration across archive sizes (bytes) at a
+// fixed throughput, for extrapolating the §3.2 argument to EB/ZB scales.
+func Sweep(sizes []float64, readBytesPerDay float64, s Scenario) ([]float64, error) {
+	if readBytesPerDay <= 0 {
+		return nil, ErrBadParams
+	}
+	out := make([]float64, len(sizes))
+	for i, sz := range sizes {
+		m, err := ReencryptMonths(Archive{Name: "sweep", TotalBytes: sz, ReadBytesPerDay: readBytesPerDay}, s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// RenewalCampaign prices one proactive-share-renewal round for an archive
+// of totalBytes split into objects of objBytes, shared across n holders,
+// against a network of aggregate interNodeBytesPerDay. It returns the
+// months one full renewal sweep takes — the secret-sharing analogue of
+// re-encryption, and the reason §3.2 says renewal "may become impractical
+// for the same reasons".
+func RenewalCampaign(totalBytes, objBytes float64, n int, interNodeBytesPerDay float64) (float64, error) {
+	if totalBytes <= 0 || objBytes <= 0 || n < 2 || interNodeBytesPerDay <= 0 {
+		return 0, ErrBadParams
+	}
+	objects := math.Ceil(totalBytes / objBytes)
+	perObject := float64(pss.RenewalTraffic(n, int(objBytes)))
+	days := objects * perObject / interNodeBytesPerDay
+	return days / DaysPerMonth, nil
+}
+
+// MigrationMonths prices a media-generation migration (§4's motivation
+// for long-lived media): writing totalBytes onto `units` parallel
+// writers of the target medium, in months. Migration is write-bound —
+// archival media write slower than they read — and, like re-encryption,
+// must be planned in years at scale. Glass and DNA buy their millennia
+// of durability with write rates that make INITIAL ingestion the
+// bottleneck instead of periodic migration.
+func MigrationMonths(totalBytes float64, target media.Medium, units int) (float64, error) {
+	if totalBytes <= 0 || units < 1 || target.WriteBandwidth <= 0 {
+		return 0, fmt.Errorf("%w: bytes=%v units=%d", ErrBadParams, totalBytes, units)
+	}
+	perDay := target.WriteBandwidth * SecondsPerDay * float64(units)
+	return totalBytes / perDay / DaysPerMonth, nil
+}
+
+// Row is one line of the E3 report.
+type Row struct {
+	Archive       string
+	ReadOnlyMo    float64 // paper's headline figure
+	WithWriteMo   float64 // ×2
+	WithReserveMo float64 // ×4
+}
+
+// Report computes the full §3.2 table.
+func Report() ([]Row, error) {
+	var rows []Row
+	for _, a := range PaperArchives() {
+		ro, err := ReencryptMonths(a, Scenario{})
+		if err != nil {
+			return nil, err
+		}
+		w, err := ReencryptMonths(a, Scenario{WriteBack: true})
+		if err != nil {
+			return nil, err
+		}
+		wr, err := ReencryptMonths(a, Scenario{WriteBack: true, ForegroundReserve: true})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{Archive: a.Name, ReadOnlyMo: ro, WithWriteMo: w, WithReserveMo: wr})
+	}
+	return rows, nil
+}

@@ -1,0 +1,170 @@
+package group
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestTestGroupParameters(t *testing.T) {
+	g := Test()
+	// p = 2q + 1
+	p2 := new(big.Int).Lsh(g.Q, 1)
+	p2.Add(p2, big.NewInt(1))
+	if p2.Cmp(g.P) != 0 {
+		t.Fatal("p != 2q+1")
+	}
+	if !g.P.ProbablyPrime(32) || !g.Q.ProbablyPrime(32) {
+		t.Fatal("p or q not prime")
+	}
+	if g.P.BitLen() != 256 {
+		t.Fatalf("test group has %d-bit p, want 256", g.P.BitLen())
+	}
+}
+
+func TestDefaultGroupParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2048-bit primality checks are slow")
+	}
+	g := Default()
+	if g.P.BitLen() != 2048 {
+		t.Fatalf("default p is %d bits, want 2048", g.P.BitLen())
+	}
+	p2 := new(big.Int).Lsh(g.Q, 1)
+	p2.Add(p2, big.NewInt(1))
+	if p2.Cmp(g.P) != 0 {
+		t.Fatal("p != 2q+1")
+	}
+	if !g.P.ProbablyPrime(16) || !g.Q.ProbablyPrime(16) {
+		t.Fatal("RFC 3526 modulus failed primality check")
+	}
+}
+
+func TestGeneratorsHaveOrderQ(t *testing.T) {
+	g := Test()
+	if !g.Contains(g.G) {
+		t.Fatal("G not in subgroup")
+	}
+	if !g.Contains(g.H) {
+		t.Fatal("H not in subgroup")
+	}
+	if g.G.Cmp(g.H) == 0 {
+		t.Fatal("G == H")
+	}
+	one := big.NewInt(1)
+	if g.G.Cmp(one) == 0 || g.H.Cmp(one) == 0 {
+		t.Fatal("degenerate generator")
+	}
+}
+
+func TestContainsRejects(t *testing.T) {
+	g := Test()
+	if g.Contains(big.NewInt(0)) {
+		t.Error("0 accepted")
+	}
+	if g.Contains(new(big.Int).Neg(big.NewInt(3))) {
+		t.Error("negative accepted")
+	}
+	if g.Contains(g.P) {
+		t.Error("p accepted")
+	}
+	// A non-residue: -1 mod p = p-1 has order 2, not q.
+	pm1 := new(big.Int).Sub(g.P, big.NewInt(1))
+	if g.Contains(pm1) {
+		t.Error("p-1 (order 2) accepted")
+	}
+	if g.Contains(nil) {
+		t.Error("nil accepted")
+	}
+}
+
+func TestRandScalarRange(t *testing.T) {
+	g := Test()
+	for i := 0; i < 100; i++ {
+		k, err := g.RandScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Sign() < 0 || k.Cmp(g.Q) >= 0 {
+			t.Fatalf("scalar out of range: %v", k)
+		}
+	}
+}
+
+func TestExpHomomorphism(t *testing.T) {
+	g := Test()
+	a, _ := g.RandScalar(rand.Reader)
+	b, _ := g.RandScalar(rand.Reader)
+	// g^a * g^b == g^(a+b mod q)
+	lhs := g.Mul(g.ExpG(a), g.ExpG(b))
+	sum := new(big.Int).Add(a, b)
+	sum.Mod(sum, g.Q)
+	rhs := g.ExpG(sum)
+	if lhs.Cmp(rhs) != 0 {
+		t.Fatal("exponent homomorphism broken")
+	}
+}
+
+func TestExpIdentity(t *testing.T) {
+	g := Test()
+	if g.ExpG(big.NewInt(0)).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("g^0 != 1")
+	}
+	if g.ExpG(g.Q).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("g^q != 1: generator order is not q")
+	}
+	if g.ExpH(g.Q).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("h^q != 1")
+	}
+}
+
+func TestReduceScalarEmbedsLosslessly(t *testing.T) {
+	g := Test()
+	cap := g.ScalarCapacity()
+	if cap < 16 {
+		t.Fatalf("test group capacity %d too small", cap)
+	}
+	msg := make([]byte, cap)
+	for i := range msg {
+		msg[i] = byte(i*7 + 1)
+	}
+	s := g.ReduceScalar(msg)
+	// Recover: the embedded value must round-trip through Bytes().
+	got := s.Bytes()
+	// Strip leading zeros from msg for comparison.
+	want := new(big.Int).SetBytes(msg).Bytes()
+	if !bytes.Equal(got, want) {
+		t.Fatal("scalar embedding is lossy within capacity")
+	}
+}
+
+func TestDeterministicInstances(t *testing.T) {
+	if Test() != Test() {
+		t.Fatal("Test() returned different instances")
+	}
+	if Default() != Default() {
+		t.Fatal("Default() returned different instances")
+	}
+	if Test().P.Cmp(Default().P) == 0 {
+		t.Fatal("test and default groups identical")
+	}
+}
+
+func BenchmarkExpTestGroup(b *testing.B) {
+	g := Test()
+	k, _ := g.RandScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ExpG(k)
+	}
+}
+
+func BenchmarkExpDefaultGroup(b *testing.B) {
+	g := Default()
+	k, _ := g.RandScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ExpG(k)
+	}
+}

@@ -1,0 +1,341 @@
+// Package lrss implements leakage-resilient secret sharing (LRSS) and the
+// local-leakage attack on Shamir's scheme that motivates it (§4 of the
+// paper, citing Benhamouda, Degwekar, Ishai & Rabin).
+//
+// # The attack
+//
+// Shamir sharing over a characteristic-2 field is GF(2)-linear: with
+// threshold t = 2, share_i = s ⊕ c·x_i, and every output *bit* of a share
+// is a GF(2)-linear function of the bits of s and c. An adversary who
+// leaks just ONE bit from each share — never holding any complete share,
+// thus never violating the threshold — collects linear equations over the
+// 16 unknown bits (8 of s, 8 of c). With ~16+ shares the system solves,
+// and the full secret byte falls out. LeakAttackShamir implements this
+// end-to-end with Gaussian elimination over GF(2).
+//
+// # The defence
+//
+// An LRSS scheme wraps each Shamir share in an extractor-based encoding
+// (Srinivasan–Vasudevan style): party i stores a random source w_i and
+// the masked share sh_i ⊕ Ext(w_i; s_i), while the extractor seed s_i is
+// itself Shamir-shared across the *other* parties. A bounded-output local
+// leakage function applied to party i's state sees w_i only through ℓ
+// bits, so by the leftover hash lemma Ext(w_i; s_i) stays ε-close to
+// uniform and the mask survives. The price — visible in Figure 1 — is
+// storage: each party additionally carries n seed shares, pushing
+// per-party cost from L to Θ(n·L).
+package lrss
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"securearchive/internal/gf256"
+	"securearchive/internal/shamir"
+)
+
+// Errors returned by this package.
+var (
+	ErrInvalidParams = errors.New("lrss: invalid parameters")
+	ErrTooFewShares  = errors.New("lrss: not enough shares")
+	ErrUnsolvable    = errors.New("lrss: leakage system is underdetermined")
+	ErrShapeMismatch = errors.New("lrss: share shape mismatch")
+)
+
+// ---------------------------------------------------------------------
+// Local-leakage attack on Shamir over GF(2^8), threshold 2.
+// ---------------------------------------------------------------------
+
+// mulBitMatrix returns the 8x8 GF(2) matrix M such that for all v,
+// bits(x·v) = M · bits(v), i.e. row r, column c is bit r of x·2^c.
+func mulBitMatrix(x byte) [8]byte {
+	var m [8]byte // m[r] is row r as a bitmask over columns
+	for c := 0; c < 8; c++ {
+		prod := gf256.Mul(x, 1<<c)
+		for r := 0; r < 8; r++ {
+			if prod&(1<<r) != 0 {
+				m[r] |= 1 << c
+			}
+		}
+	}
+	return m
+}
+
+// LeakBit is one observed leakage: bit number Bit (0 = LSB) of the share
+// held at evaluation point X.
+type LeakBit struct {
+	X   byte
+	Bit int
+	Val byte // 0 or 1
+}
+
+// LeakFromShare extracts the given bit of the share's payload byte at
+// position pos — the adversary's ℓ=1 local leakage function.
+func LeakFromShare(s shamir.Share, pos, bit int) LeakBit {
+	return LeakBit{X: s.X, Bit: bit, Val: (s.Payload[pos] >> bit) & 1}
+}
+
+// LeakAttackShamir recovers one secret byte of a threshold-2 Shamir
+// sharing from single-bit leakages. Each leak of bit b from the share at
+// point x yields the GF(2) equation
+//
+//	s_b ⊕ Σ_j M(x)[b][j]·c_j = leaked bit
+//
+// over unknowns s_0..s_7, c_0..c_7. Sixteen independent equations solve
+// the system; the function returns the recovered secret byte. It returns
+// ErrUnsolvable when the provided leaks do not determine the secret
+// (fewer than 16 independent equations — e.g. all leaks from the same bit
+// position pin down only that one secret bit).
+func LeakAttackShamir(leaks []LeakBit) (byte, error) {
+	const nvars = 16 // s bits 0..7, c bits 8..15
+	rows := make([]uint32, 0, len(leaks))
+	// Row layout: bits 0..15 coefficients, bit 16 RHS.
+	for _, lk := range leaks {
+		if lk.Bit < 0 || lk.Bit > 7 || lk.X == 0 {
+			return 0, fmt.Errorf("%w: bad leak (x=%d bit=%d)", ErrInvalidParams, lk.X, lk.Bit)
+		}
+		m := mulBitMatrix(lk.X)
+		var row uint32
+		row |= 1 << lk.Bit               // coefficient of s_{bit}
+		row |= uint32(m[lk.Bit]) << 8    // coefficients of c_j
+		row |= uint32(lk.Val&1) << nvars // RHS
+		rows = append(rows, row)
+	}
+	// Gaussian elimination over GF(2).
+	rank := 0
+	for col := 0; col < nvars && rank < len(rows); col++ {
+		pivot := -1
+		for r := rank; r < len(rows); r++ {
+			if rows[r]&(1<<col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < len(rows); r++ {
+			if r != rank && rows[r]&(1<<col) != 0 {
+				rows[r] ^= rows[rank]
+			}
+		}
+		rank++
+	}
+	// Check consistency and full determination of s bits.
+	var secret byte
+	determined := 0
+	for r := 0; r < rank; r++ {
+		row := rows[r]
+		coef := row & 0xFFFF
+		// A fully reduced pivot row with a single s-coefficient and no
+		// c-coefficients determines one secret bit.
+		if coef != 0 && coef < 256 && coef&(coef-1) == 0 {
+			bit := trailingZeros16(uint16(coef))
+			if row>>nvars&1 == 1 {
+				secret |= 1 << bit
+			}
+			determined++
+		}
+	}
+	if determined < 8 {
+		return 0, fmt.Errorf("%w: determined %d/8 secret bits from %d leaks", ErrUnsolvable, determined, len(leaks))
+	}
+	return secret, nil
+}
+
+// LeakAttackShamirPayload extends the attack to multi-byte secrets: the
+// byte positions of a byte-parallel Shamir sharing are independent
+// sharings, so an adversary whose per-share leakage budget is one bit
+// *per payload byte* (ℓ = payloadLen bits of local leakage per share —
+// still far below the 8·payloadLen bits a full share holds) recovers the
+// entire payload. leakBitAt(x, pos) must return bit (pos mod 8)... any
+// position-dependent bit choice works as long as positions cycle through
+// all eight bit indices across shares; this function uses the same
+// rotation as the single-byte attack.
+func LeakAttackShamirPayload(shares []shamir.Share, payloadLen int) ([]byte, error) {
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("%w: no shares", ErrInvalidParams)
+	}
+	out := make([]byte, payloadLen)
+	for pos := 0; pos < payloadLen; pos++ {
+		leaks := make([]LeakBit, len(shares))
+		for i, s := range shares {
+			if pos >= len(s.Payload) {
+				return nil, fmt.Errorf("%w: payload too short", ErrInvalidParams)
+			}
+			leaks[i] = LeakFromShare(s, pos, i%8)
+		}
+		b, err := LeakAttackShamir(leaks)
+		if err != nil {
+			return nil, fmt.Errorf("byte %d: %w", pos, err)
+		}
+		out[pos] = b
+	}
+	return out, nil
+}
+
+func trailingZeros16(x uint16) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// LRSS construction.
+// ---------------------------------------------------------------------
+
+// Params configures the LRSS scheme.
+type Params struct {
+	N         int // parties
+	T         int // reconstruction threshold (also seed-sharing threshold)
+	SourceLen int // length of each party's extractor source w_i, bytes
+}
+
+// DefaultSourceLen is the source size granting resilience against tens of
+// leaked bits per party with comfortable margin (leftover hash lemma:
+// extractable entropy ≈ 8·SourceLen − leakage − 2·log(1/ε)).
+const DefaultSourceLen = 64
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.T < 2 || p.T > p.N || p.N > shamir.MaxShares {
+		return fmt.Errorf("%w: n=%d t=%d", ErrInvalidParams, p.N, p.T)
+	}
+	if p.SourceLen < 16 {
+		return fmt.Errorf("%w: source length %d < 16", ErrInvalidParams, p.SourceLen)
+	}
+	return nil
+}
+
+// Share is one party's LRSS share.
+type Share struct {
+	Index  int    // party index, 0-based
+	Source []byte // w_i: local extractor source
+	Masked []byte // sh_i ⊕ Ext(w_i; s_i)
+	// SeedShares[j] is this party's Shamir share of party j's seed.
+	SeedShares []shamir.Share
+	// Meta
+	SecretLen int
+	T         byte
+}
+
+// Split shares the secret under LRSS.
+func Split(secret []byte, p Params, rnd io.Reader) ([]Share, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("%w: empty secret", ErrInvalidParams)
+	}
+	inner, err := shamir.Split(secret, p.N, p.T, rnd)
+	if err != nil {
+		return nil, err
+	}
+	L := len(secret)
+	seedLen := L + p.SourceLen - 1 // Toeplitz seed size
+	shares := make([]Share, p.N)
+	seedShares := make([][]shamir.Share, p.N) // seedShares[i][j]: share j of seed i
+	for i := 0; i < p.N; i++ {
+		w := make([]byte, p.SourceLen)
+		if _, err := io.ReadFull(rnd, w); err != nil {
+			return nil, fmt.Errorf("lrss: reading randomness: %w", err)
+		}
+		seed := make([]byte, seedLen)
+		if _, err := io.ReadFull(rnd, seed); err != nil {
+			return nil, fmt.Errorf("lrss: reading randomness: %w", err)
+		}
+		mask := extract(w, seed, L)
+		masked := make([]byte, L)
+		for k := 0; k < L; k++ {
+			masked[k] = inner[i].Payload[k] ^ mask[k]
+		}
+		ss, err := shamir.Split(seed, p.N, p.T, rnd)
+		if err != nil {
+			return nil, err
+		}
+		seedShares[i] = ss
+		shares[i] = Share{Index: i, Source: w, Masked: masked, SecretLen: L, T: byte(p.T)}
+	}
+	// Distribute seed shares: party j holds share j of every seed.
+	for j := 0; j < p.N; j++ {
+		shares[j].SeedShares = make([]shamir.Share, p.N)
+		for i := 0; i < p.N; i++ {
+			shares[j].SeedShares[i] = seedShares[i][j]
+		}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from at least t LRSS shares.
+func Combine(shares []Share) ([]byte, error) {
+	if len(shares) == 0 {
+		return nil, ErrTooFewShares
+	}
+	t := int(shares[0].T)
+	L := shares[0].SecretLen
+	if len(shares) < t {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), t)
+	}
+	for _, s := range shares {
+		if int(s.T) != t || s.SecretLen != L || len(s.Masked) != L {
+			return nil, ErrShapeMismatch
+		}
+	}
+	use := shares[:t]
+	inner := make([]shamir.Share, t)
+	for k, s := range use {
+		// Reconstruct party s.Index's seed from the t participants' seed
+		// shares.
+		seedParts := make([]shamir.Share, t)
+		for k2, s2 := range use {
+			if s.Index >= len(s2.SeedShares) {
+				return nil, ErrShapeMismatch
+			}
+			seedParts[k2] = s2.SeedShares[s.Index]
+		}
+		seed, err := shamir.Combine(seedParts)
+		if err != nil {
+			return nil, fmt.Errorf("lrss: seed reconstruction for party %d: %w", s.Index, err)
+		}
+		mask := extract(s.Source, seed, L)
+		payload := make([]byte, L)
+		for k2 := 0; k2 < L; k2++ {
+			payload[k2] = s.Masked[k2] ^ mask[k2]
+		}
+		inner[k] = shamir.Share{X: byte(s.Index + 1), Threshold: byte(t), Payload: payload}
+	}
+	return shamir.Combine(inner)
+}
+
+// extract is a GF(256) Toeplitz universal hash: out[j] = Σ_k seed[j+k]·w[k].
+// By the leftover hash lemma it is a strong extractor: for any source w
+// with min-entropy ≥ 8·outLen + 2·log(1/ε), the output is ε-close to
+// uniform given the seed.
+func extract(w, seed []byte, outLen int) []byte {
+	out := make([]byte, outLen)
+	for j := 0; j < outLen; j++ {
+		var acc byte
+		for k := 0; k < len(w); k++ {
+			acc ^= gf256.Mul(seed[j+k], w[k])
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+// StorageOverhead returns total stored bytes per secret byte: each party
+// stores L (masked) + SourceLen + n seed shares of (L + SourceLen − 1)
+// bytes, summed over n parties.
+func StorageOverhead(p Params, secretLen int) float64 {
+	if secretLen <= 0 {
+		return 0
+	}
+	seedLen := secretLen + p.SourceLen - 1
+	perParty := secretLen + p.SourceLen + p.N*seedLen
+	return float64(p.N*perParty) / float64(secretLen)
+}

@@ -1,0 +1,277 @@
+package lrss
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"securearchive/internal/gf256"
+	"securearchive/internal/shamir"
+)
+
+// TestMulBitMatrix: the bit matrix must agree with field multiplication.
+func TestMulBitMatrix(t *testing.T) {
+	for _, x := range []byte{1, 2, 3, 0x53, 0xFF} {
+		m := mulBitMatrix(x)
+		for v := 0; v < 256; v++ {
+			want := gf256.Mul(x, byte(v))
+			var got byte
+			for r := 0; r < 8; r++ {
+				// bit r of result = parity of m[r] & v
+				if parity(m[r]&byte(v)) == 1 {
+					got |= 1 << r
+				}
+			}
+			if got != want {
+				t.Fatalf("matrix for %#x wrong at v=%#x: got %#x want %#x", x, v, got, want)
+			}
+		}
+	}
+}
+
+func parity(b byte) byte {
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	return b & 1
+}
+
+// TestLeakAttackRecoversSecret is experiment E8's core: leak ONE bit from
+// each of 24 shares of a (2, 24) Shamir sharing and recover the full
+// secret byte, without ever holding a complete share.
+func TestLeakAttackRecoversSecret(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		secret := []byte{byte(trial * 13)}
+		shares, err := shamir.Split(secret, 24, 2, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaks := make([]LeakBit, len(shares))
+		for i, s := range shares {
+			leaks[i] = LeakFromShare(s, 0, i%8) // rotate bit positions
+		}
+		got, err := LeakAttackShamir(leaks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != secret[0] {
+			t.Fatalf("trial %d: recovered %#x, want %#x", trial, got, secret[0])
+		}
+	}
+}
+
+// TestLeakAttackSameBitUnderdetermined: leaking only the LSB of every
+// share determines s_0 and c but not the other secret bits.
+func TestLeakAttackSameBitUnderdetermined(t *testing.T) {
+	secret := []byte{0xA7}
+	shares, _ := shamir.Split(secret, 24, 2, rand.Reader)
+	leaks := make([]LeakBit, len(shares))
+	for i, s := range shares {
+		leaks[i] = LeakFromShare(s, 0, 0)
+	}
+	if _, err := LeakAttackShamir(leaks); !errors.Is(err, ErrUnsolvable) {
+		t.Fatalf("LSB-only leakage should be underdetermined: %v", err)
+	}
+}
+
+func TestLeakAttackTooFewShares(t *testing.T) {
+	secret := []byte{0x42}
+	shares, _ := shamir.Split(secret, 8, 2, rand.Reader)
+	leaks := make([]LeakBit, len(shares))
+	for i, s := range shares {
+		leaks[i] = LeakFromShare(s, 0, i%8)
+	}
+	if _, err := LeakAttackShamir(leaks); !errors.Is(err, ErrUnsolvable) {
+		t.Fatalf("8 leaks should underdetermine 16 unknowns: %v", err)
+	}
+}
+
+// TestLeakAttackRecoversWholePayload: one leaked bit per byte position
+// per share recovers a multi-byte secret in full.
+func TestLeakAttackRecoversWholePayload(t *testing.T) {
+	secret := []byte("entire payloads fall to local leakage")
+	shares, err := shamir.Split(secret, 24, 2, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LeakAttackShamirPayload(shares, len(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("payload attack recovered %q, want %q", got, secret)
+	}
+}
+
+func TestLeakAttackPayloadValidation(t *testing.T) {
+	if _, err := LeakAttackShamirPayload(nil, 4); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("no shares: %v", err)
+	}
+	shares, _ := shamir.Split([]byte("ab"), 24, 2, rand.Reader)
+	if _, err := LeakAttackShamirPayload(shares, 5); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("short payload: %v", err)
+	}
+}
+
+func TestLeakAttackValidation(t *testing.T) {
+	if _, err := LeakAttackShamir([]LeakBit{{X: 0, Bit: 0}}); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("x=0: %v", err)
+	}
+	if _, err := LeakAttackShamir([]LeakBit{{X: 1, Bit: 9}}); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("bit=9: %v", err)
+	}
+}
+
+func TestLRSSRoundTrip(t *testing.T) {
+	p := Params{N: 6, T: 3, SourceLen: 32}
+	secret := []byte("leakage resilient payload")
+	shares, err := Split(secret, p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Combine(shares[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("LRSS round trip failed")
+	}
+	// Any t-subset works.
+	rng := mrand.New(mrand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		idx := rng.Perm(p.N)[:p.T]
+		sub := make([]Share, p.T)
+		for i, j := range idx {
+			sub[i] = shares[j]
+		}
+		got, err := Combine(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("subset %v failed", idx)
+		}
+	}
+}
+
+func TestLRSSTooFewShares(t *testing.T) {
+	p := Params{N: 5, T: 3, SourceLen: 32}
+	shares, _ := Split([]byte("x"), p, rand.Reader)
+	if _, err := Combine(shares[:2]); !errors.Is(err, ErrTooFewShares) {
+		t.Fatalf("too few: %v", err)
+	}
+}
+
+func TestLRSSValidation(t *testing.T) {
+	if _, err := Split([]byte("x"), Params{N: 4, T: 1, SourceLen: 32}, rand.Reader); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("t=1: %v", err)
+	}
+	if _, err := Split([]byte("x"), Params{N: 4, T: 5, SourceLen: 32}, rand.Reader); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("t>n: %v", err)
+	}
+	if _, err := Split([]byte("x"), Params{N: 4, T: 2, SourceLen: 8}, rand.Reader); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("tiny source: %v", err)
+	}
+	if _, err := Split(nil, Params{N: 4, T: 2, SourceLen: 32}, rand.Reader); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("empty secret: %v", err)
+	}
+}
+
+// TestLRSSDefeatsBitLeakage replays the Shamir attack's leakage pattern
+// against LRSS shares: single bits leaked from each party's *masked*
+// component must not allow the linear attack (the masked values are not
+// Shamir shares of the secret — they are one-time-padded by extractor
+// output). We measure the attack's success over trials: it should succeed
+// at chance level, never systematically.
+func TestLRSSDefeatsBitLeakage(t *testing.T) {
+	p := Params{N: 24, T: 2, SourceLen: 32}
+	const trials = 30
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		secret := []byte{byte(trial*7 + 3)}
+		shares, err := Split(secret, p, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaks := make([]LeakBit, p.N)
+		for i, s := range shares {
+			leaks[i] = LeakBit{X: byte(i + 1), Bit: i % 8, Val: (s.Masked[0] >> (i % 8)) & 1}
+		}
+		got, err := LeakAttackShamir(leaks)
+		if err == nil && got == secret[0] {
+			hits++
+		}
+	}
+	// Chance level is 1/256 per solvable trial; 30 trials should
+	// essentially never hit. Allow 2 flukes.
+	if hits > 2 {
+		t.Fatalf("leak attack succeeded %d/%d times against LRSS", hits, trials)
+	}
+}
+
+// TestExtractUniformity: the Toeplitz extractor output must be unbiased
+// over random seeds (chi-squared smoke test on one output byte).
+func TestExtractUniformity(t *testing.T) {
+	const trials = 25600
+	counts := make([]int, 256)
+	w := make([]byte, 32)
+	rand.Read(w) // fixed source with full entropy
+	for i := 0; i < trials; i++ {
+		seed := make([]byte, 32)
+		rand.Read(seed)
+		out := extract(w, seed, 1)
+		counts[out[0]]++
+	}
+	expected := float64(trials) / 256
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 400 {
+		t.Fatalf("extractor output non-uniform: chi2 = %.1f", chi2)
+	}
+}
+
+func TestStorageOverheadGrowsWithN(t *testing.T) {
+	p8 := Params{N: 8, T: 4, SourceLen: DefaultSourceLen}
+	p16 := Params{N: 16, T: 8, SourceLen: DefaultSourceLen}
+	oh8 := StorageOverhead(p8, 4096)
+	oh16 := StorageOverhead(p16, 4096)
+	if oh8 <= 8 {
+		t.Fatalf("LRSS overhead %.1f not above plain SS (8x)", oh8)
+	}
+	if oh16 <= oh8 {
+		t.Fatal("overhead must grow with n")
+	}
+}
+
+func BenchmarkLRSSSplit6of3_4KiB(b *testing.B) {
+	p := Params{N: 6, T: 3, SourceLen: DefaultSourceLen}
+	secret := make([]byte, 4096)
+	rand.Read(secret)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(secret, p, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeakAttack24Shares(b *testing.B) {
+	secret := []byte{0x5C}
+	shares, _ := shamir.Split(secret, 24, 2, rand.Reader)
+	leaks := make([]LeakBit, len(shares))
+	for i, s := range shares {
+		leaks[i] = LeakFromShare(s, 0, i%8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeakAttackShamir(leaks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

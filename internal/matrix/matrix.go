@@ -1,0 +1,293 @@
+// Package matrix implements dense matrices over GF(2^8).
+//
+// It provides exactly the linear algebra the erasure-coding and
+// secret-sharing layers need: construction of Vandermonde and Cauchy
+// matrices, Gauss-Jordan inversion, multiplication, and the derivation of
+// systematic generator matrices. Matrices are small (dimensions are node
+// counts, typically < 64), so clarity is preferred over blocking or SIMD;
+// the per-byte throughput-critical loops live in package gf256.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"securearchive/internal/gf256"
+)
+
+// ErrSingular is returned when a matrix that must be invertible is not.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	rows, cols int
+	data       []byte // len == rows*cols
+}
+
+// New returns a zero matrix of the given dimensions. It panics if either
+// dimension is not positive.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, copying the data. All rows must
+// have equal, non-zero length.
+func FromRows(rows [][]byte) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("matrix: FromRows with empty input")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("matrix: FromRows with ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns the rows-by-cols matrix with entry (i, j) equal to
+// xs[i]^j. The xs must be distinct for the matrix to have full rank.
+func Vandermonde(xs []byte, cols int) *Matrix {
+	m := New(len(xs), cols)
+	for i, x := range xs {
+		v := byte(1)
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, v)
+			v = gf256.Mul(v, x)
+		}
+	}
+	return m
+}
+
+// Cauchy returns the len(xs)-by-len(ys) Cauchy matrix with entry
+// (i, j) = 1 / (xs[i] + ys[j]). All xs and ys must be pairwise distinct
+// across both slices; it panics if xs[i] == ys[j] for any pair. Every
+// square submatrix of a Cauchy matrix is invertible, which makes it the
+// preferred parity matrix for systematic Reed-Solomon codes.
+func Cauchy(xs, ys []byte) *Matrix {
+	m := New(len(xs), len(ys))
+	for i, x := range xs {
+		for j, y := range ys {
+			if x == y {
+				panic("matrix: Cauchy with xs[i] == ys[j]")
+			}
+			m.Set(i, j, gf256.Inv(x^y))
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the entry at (r, c).
+func (m *Matrix) At(r, c int) byte { return m.data[r*m.cols+c] }
+
+// Set assigns the entry at (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []byte { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix in hex, one row per line.
+func (m *Matrix) String() string {
+	s := ""
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			if c > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%02x", m.At(r, c))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Mul returns the matrix product m * o. It panics on dimension mismatch.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d * %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := New(m.rows, o.cols)
+	for r := 0; r < m.rows; r++ {
+		mrow := m.Row(r)
+		orow := out.Row(r)
+		for k := 0; k < m.cols; k++ {
+			gf256.MulSlice(mrow[k], o.Row(k), orow)
+		}
+	}
+	return out
+}
+
+// MulVec multiplies the matrix by a column vector given as a slice and
+// returns the resulting vector. It panics if len(v) != Cols().
+func (m *Matrix) MulVec(v []byte) []byte {
+	if len(v) != m.cols {
+		panic("matrix: MulVec dimension mismatch")
+	}
+	out := make([]byte, m.rows)
+	for r := 0; r < m.rows; r++ {
+		row := m.Row(r)
+		var acc byte
+		for c, rv := range row {
+			acc ^= gf256.Mul(rv, v[c])
+		}
+		out[r] = acc
+	}
+	return out
+}
+
+// MulBlocks multiplies the matrix by a block vector: blocks[c] is a byte
+// slice (all the same length), and the result's r-th block is
+// Σ_c m[r][c] · blocks[c]. This is how a generator matrix is applied to
+// data shards. It panics if len(blocks) != Cols() or block lengths differ.
+func (m *Matrix) MulBlocks(blocks [][]byte) [][]byte {
+	if len(blocks) != m.cols {
+		panic("matrix: MulBlocks dimension mismatch")
+	}
+	blen := len(blocks[0])
+	for _, b := range blocks {
+		if len(b) != blen {
+			panic("matrix: MulBlocks ragged blocks")
+		}
+	}
+	out := make([][]byte, m.rows)
+	for r := 0; r < m.rows; r++ {
+		out[r] = make([]byte, blen)
+		row := m.Row(r)
+		for c, coeff := range row {
+			gf256.MulSlice(coeff, blocks[c], out[r])
+		}
+	}
+	return out
+}
+
+// SubMatrix returns the matrix consisting of the given rows (in order).
+func (m *Matrix) SubMatrix(rows []int) *Matrix {
+	out := New(len(rows), m.cols)
+	for i, r := range rows {
+		if r < 0 || r >= m.rows {
+			panic(fmt.Sprintf("matrix: SubMatrix row %d out of range", r))
+		}
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Invert returns the inverse of a square matrix using Gauss-Jordan
+// elimination, or ErrSingular if the matrix has no inverse.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert %dx%d non-square matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale pivot row to make the pivot 1.
+		if p := a.At(col, col); p != 1 {
+			pi := gf256.Inv(p)
+			scaleRow(a, col, pi)
+			scaleRow(inv, col, pi)
+		}
+		// Eliminate the column from all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			gf256.MulSlice(f, a.Row(col), a.Row(r))
+			gf256.MulSlice(f, inv.Row(col), inv.Row(r))
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func scaleRow(m *Matrix, r int, c byte) {
+	row := m.Row(r)
+	gf256.MulSliceAssign(c, row, row)
+}
+
+// Systematic converts a full-rank rows-by-cols generator matrix
+// (rows >= cols) into systematic form: the first cols rows become the
+// identity, so the first cols codewords equal the data shards. It does so
+// by right-multiplying with the inverse of the top square block; the code
+// (row space) is preserved. Returns ErrSingular if the top block is not
+// invertible.
+func (m *Matrix) Systematic() (*Matrix, error) {
+	if m.rows < m.cols {
+		return nil, fmt.Errorf("matrix: Systematic needs rows >= cols, have %dx%d", m.rows, m.cols)
+	}
+	topRows := make([]int, m.cols)
+	for i := range topRows {
+		topRows[i] = i
+	}
+	top := m.SubMatrix(topRows)
+	topInv, err := top.Invert()
+	if err != nil {
+		return nil, err
+	}
+	return m.Mul(topInv), nil
+}

@@ -1,0 +1,147 @@
+// Package media models archival storage media: the parameters that drive
+// the paper's re-encryption arithmetic (§3.2) and its future-directions
+// argument for denser, cheaper media (§4).
+//
+// Each medium carries throughput, density, cost, and longevity figures
+// drawn from the sources the paper cites: LTO tape (Byron '22; the
+// "common archival storage medium"), archival HDD (Pergamum), glass
+// (Project Silica: 429 TB per cubic inch, millennia of durability, near-
+// zero maintenance), DNA (Bornholt et al.: 1 EB/mm³ theoretical, centuries
+// of durability, crippling synthesis throughput), and photosensitive film
+// (Piql / Arctic World Archive). The figures are order-of-magnitude
+// engineering numbers, not vendor benchmarks; the cost model only needs
+// their ratios.
+package media
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Unit constants in bytes.
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+	PB = 1e15
+	EB = 1e18
+	ZB = 1e21
+)
+
+// ErrUnknownMedium is returned for unregistered medium names.
+var ErrUnknownMedium = errors.New("media: unknown medium")
+
+// Medium describes one archival storage technology.
+type Medium struct {
+	Name string
+	// ReadBandwidth is aggregate sequential read bytes/sec per drive/unit.
+	ReadBandwidth float64
+	// WriteBandwidth is aggregate sequential write bytes/sec per unit.
+	// Archival media write slower than they read (verify passes, finalize).
+	WriteBandwidth float64
+	// DensityBytesPerMM3 is volumetric density in bytes per cubic mm.
+	DensityBytesPerMM3 float64
+	// CostPerTB is the media cost in USD per TB stored.
+	CostPerTB float64
+	// LifetimeYears is the rated unattended retention period.
+	LifetimeYears float64
+	// Online reports whether the medium is network-attached while idle
+	// (HDD/SSD) or offline at rest (tape, glass, film, DNA). The paper
+	// prefers offline media for the reduced attack surface.
+	Online bool
+}
+
+// Catalog of archival media. Values are representative 2024-era figures.
+var catalog = map[string]Medium{
+	"tape": {
+		Name:               "tape",
+		ReadBandwidth:      400 * MB, // LTO-9 native
+		WriteBandwidth:     300 * MB,
+		DensityBytesPerMM3: 6.5e9, // ≈18 TB cartridge / ~2800 mm³ media volume
+		CostPerTB:          6,
+		LifetimeYears:      30,
+		Online:             false,
+	},
+	"hdd": {
+		Name:               "hdd",
+		ReadBandwidth:      250 * MB,
+		WriteBandwidth:     230 * MB,
+		DensityBytesPerMM3: 5.0e8,
+		CostPerTB:          15,
+		LifetimeYears:      5,
+		Online:             true,
+	},
+	"glass": {
+		Name:               "glass",
+		ReadBandwidth:      30 * MB, // Silica read head, research-grade
+		WriteBandwidth:     5 * MB,  // femtosecond laser writing
+		DensityBytesPerMM3: 2.6e10,  // 429 TB per cubic inch ≈ 26 GB/mm³
+		CostPerTB:          3,
+		LifetimeYears:      10000,
+		Online:             false,
+	},
+	"dna": {
+		Name:               "dna",
+		ReadBandwidth:      1 * KB, // sequencing throughput per run, effective
+		WriteBandwidth:     100,    // synthesis: the paper's cited bottleneck
+		DensityBytesPerMM3: 1e18,   // 1 EB per mm³ theoretical
+		CostPerTB:          1e6,    // synthesis cost dominates
+		LifetimeYears:      500,
+		Online:             false,
+	},
+	"film": {
+		Name:               "film",
+		ReadBandwidth:      10 * MB,
+		WriteBandwidth:     1 * MB,
+		DensityBytesPerMM3: 1.0e6,
+		CostPerTB:          100,
+		LifetimeYears:      500,
+		Online:             false,
+	},
+}
+
+// Get returns the catalog entry for name.
+func Get(name string) (Medium, error) {
+	m, ok := catalog[name]
+	if !ok {
+		return Medium{}, fmt.Errorf("%w: %q", ErrUnknownMedium, name)
+	}
+	return m, nil
+}
+
+// Names lists catalog media in deterministic order.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VolumeForBytes returns the media volume in cubic mm needed to store the
+// given byte count.
+func (m Medium) VolumeForBytes(bytes float64) float64 {
+	return bytes / m.DensityBytesPerMM3
+}
+
+// CostForBytes returns the media cost in USD for the given byte count.
+func (m Medium) CostForBytes(bytes float64) float64 {
+	return bytes / TB * m.CostPerTB
+}
+
+// DrivesForReadDeadline returns how many parallel drives/units are needed
+// to read `bytes` within `days` days.
+func (m Medium) DrivesForReadDeadline(bytes float64, days float64) int {
+	if days <= 0 {
+		return 0
+	}
+	perDrive := m.ReadBandwidth * 86400 * days
+	n := int(bytes / perDrive)
+	if float64(n)*perDrive < bytes {
+		n++
+	}
+	return n
+}

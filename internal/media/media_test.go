@@ -1,0 +1,104 @@
+package media
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"dna", "film", "glass", "hdd", "tape"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("catalog has %d media, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, n := range want {
+		m, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name != n {
+			t.Fatalf("medium %s has Name %s", n, m.Name)
+		}
+		if m.ReadBandwidth <= 0 || m.WriteBandwidth <= 0 || m.DensityBytesPerMM3 <= 0 ||
+			m.CostPerTB <= 0 || m.LifetimeYears <= 0 {
+			t.Fatalf("medium %s has non-positive parameters: %+v", n, m)
+		}
+	}
+}
+
+func TestUnknownMedium(t *testing.T) {
+	if _, err := Get("punchcard"); !errors.Is(err, ErrUnknownMedium) {
+		t.Fatalf("unknown medium: %v", err)
+	}
+}
+
+// TestPaperOrderings pins the qualitative claims of §4: DNA is the
+// densest by orders of magnitude; glass is ~8 orders sparser than DNA but
+// far denser than tape; archival media write slower than they read;
+// offline media are tape/glass/dna/film, online is hdd.
+func TestPaperOrderings(t *testing.T) {
+	dna, _ := Get("dna")
+	glass, _ := Get("glass")
+	tape, _ := Get("tape")
+	hdd, _ := Get("hdd")
+
+	if dna.DensityBytesPerMM3 <= glass.DensityBytesPerMM3 {
+		t.Fatal("DNA must be denser than glass")
+	}
+	// Paper: DNA density ≈ 8 orders of magnitude greater than tape.
+	ratio := dna.DensityBytesPerMM3 / tape.DensityBytesPerMM3
+	if ratio < 1e7 || ratio > 1e10 {
+		t.Fatalf("DNA/tape density ratio %.2g, want ≈1e8", ratio)
+	}
+	if glass.LifetimeYears <= tape.LifetimeYears {
+		t.Fatal("glass must outlive tape")
+	}
+	for _, n := range Names() {
+		m, _ := Get(n)
+		if m.WriteBandwidth > m.ReadBandwidth {
+			t.Fatalf("%s writes faster than it reads", n)
+		}
+	}
+	if hdd.Online != true {
+		t.Fatal("hdd must be online")
+	}
+	for _, n := range []string{"tape", "glass", "dna", "film"} {
+		m, _ := Get(n)
+		if m.Online {
+			t.Fatalf("%s must be offline at rest", n)
+		}
+	}
+}
+
+func TestVolumeForBytes(t *testing.T) {
+	dna, _ := Get("dna")
+	// 1 EB in 1 mm³ (theoretical density).
+	if v := dna.VolumeForBytes(EB); v < 0.99 || v > 1.01 {
+		t.Fatalf("1 EB of DNA occupies %.3f mm³, want ≈1", v)
+	}
+}
+
+func TestCostForBytes(t *testing.T) {
+	tape, _ := Get("tape")
+	if c := tape.CostForBytes(PB); c != 6000 {
+		t.Fatalf("1 PB tape costs %.0f, want 6000", c)
+	}
+}
+
+func TestDrivesForReadDeadline(t *testing.T) {
+	tape, _ := Get("tape")
+	// One LTO-9 drive reads 400 MB/s → ~34.56 TB/day. To read 1 PB in one
+	// day needs ceil(1e15 / 3.456e13) = 29 drives.
+	n := tape.DrivesForReadDeadline(PB, 1)
+	if n != 29 {
+		t.Fatalf("drives = %d, want 29", n)
+	}
+	if tape.DrivesForReadDeadline(PB, 0) != 0 {
+		t.Fatal("zero deadline should yield 0")
+	}
+}

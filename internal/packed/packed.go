@@ -1,0 +1,197 @@
+// Package packed implements packed (multi-secret) secret sharing over
+// GF(2^8), the encoding the paper's Figure 1 places between plain secret
+// sharing and erasure coding on the storage-cost axis.
+//
+// Packed secret sharing (Franklin & Yung, STOC '92) embeds k secrets into
+// a single polynomial of degree t+k-1: the secrets sit at k reserved
+// evaluation points, t additional points carry uniformly random values,
+// and shares are evaluations at n further points. Any t shares reveal
+// nothing about the secret vector (perfect privacy), while any t+k shares
+// reconstruct all k secrets. Compared to Shamir, each share is 1/k the
+// size of the payload, trading a higher reconstruction threshold (and
+// lower erasure tolerance) for a k-fold storage saving — exactly the
+// cost/security middle ground Figure 1 depicts.
+//
+// Point layout in GF(256): secrets occupy points 0..k-1, blinding values
+// occupy points k..k+t-1, and shares occupy points k+t..k+t+n-1, so
+// k + t + n <= 256.
+package packed
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"securearchive/internal/gf256"
+)
+
+// Errors returned by this package.
+var (
+	ErrInvalidParams  = errors.New("packed: invalid parameters")
+	ErrEmptySecret    = errors.New("packed: empty secret")
+	ErrTooFewShares   = errors.New("packed: not enough shares to reconstruct")
+	ErrDuplicateShare = errors.New("packed: duplicate share index")
+	ErrShapeMismatch  = errors.New("packed: share shape mismatch")
+)
+
+// Share is one participant's evaluation of the packed polynomial.
+type Share struct {
+	// X is the evaluation point in GF(256); always >= PackCount+Threshold.
+	X byte
+	// Threshold is t: the number of shares that reveal nothing.
+	Threshold byte
+	// PackCount is k: how many slots are packed per polynomial.
+	PackCount byte
+	// SecretLen is the byte length of the original secret, needed to strip
+	// slot padding at reconstruction.
+	SecretLen int
+	// Payload holds ceil(SecretLen/k) bytes.
+	Payload []byte
+}
+
+// Params describes a packed sharing configuration.
+type Params struct {
+	N int // number of shares
+	T int // privacy threshold: any T shares reveal nothing
+	K int // secrets packed per polynomial
+}
+
+// Validate checks the parameter ranges.
+func (p Params) Validate() error {
+	if p.K < 1 || p.T < 1 || p.N < 1 {
+		return fmt.Errorf("%w: n=%d t=%d k=%d", ErrInvalidParams, p.N, p.T, p.K)
+	}
+	if p.T+p.K > p.N {
+		return fmt.Errorf("%w: reconstruction needs t+k=%d shares but n=%d", ErrInvalidParams, p.T+p.K, p.N)
+	}
+	if p.K+p.T+p.N > 256 {
+		return fmt.Errorf("%w: k+t+n=%d exceeds field size", ErrInvalidParams, p.K+p.T+p.N)
+	}
+	return nil
+}
+
+// RecoverThreshold returns t+k, the number of shares needed to reconstruct.
+func (p Params) RecoverThreshold() int { return p.T + p.K }
+
+// shareX returns the evaluation point of share i under params p.
+func shareX(p Params, i int) byte { return byte(p.K + p.T + i) }
+
+// Split shares the secret under p, reading randomness from rnd. The secret
+// is partitioned into k slots of ceil(len/k) bytes (zero-padded); byte
+// position j of slot s becomes the value at point s of the j-th polynomial.
+func Split(secret []byte, p Params, rnd io.Reader) ([]Share, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(secret) == 0 {
+		return nil, ErrEmptySecret
+	}
+	slotLen := (len(secret) + p.K - 1) / p.K
+	// slots[s][j]: byte j of slot s (zero-padded).
+	slots := make([][]byte, p.K)
+	for s := range slots {
+		slots[s] = make([]byte, slotLen)
+		lo := s * slotLen
+		if lo < len(secret) {
+			hi := lo + slotLen
+			if hi > len(secret) {
+				hi = len(secret)
+			}
+			copy(slots[s], secret[lo:hi])
+		}
+	}
+	// Blinding values at points k..k+t-1.
+	blind := make([][]byte, p.T)
+	for b := range blind {
+		blind[b] = make([]byte, slotLen)
+		if _, err := io.ReadFull(rnd, blind[b]); err != nil {
+			return nil, fmt.Errorf("packed: reading randomness: %w", err)
+		}
+	}
+
+	// Interpolation points: 0..k-1 (secrets), k..k+t-1 (blinding). The
+	// polynomial has degree <= t+k-1 and is evaluated at each share point.
+	// Precompute Lagrange coefficient vectors per share point: they depend
+	// only on the point layout, not on data, and are reused across the
+	// whole payload.
+	basePts := make([]byte, p.K+p.T)
+	for i := range basePts {
+		basePts[i] = byte(i)
+	}
+	shares := make([]Share, p.N)
+	for i := 0; i < p.N; i++ {
+		x := shareX(p, i)
+		lc := gf256.LagrangeCoeffs(basePts, x)
+		payload := make([]byte, slotLen)
+		for s := 0; s < p.K; s++ {
+			gf256.MulSlice(lc[s], slots[s], payload)
+		}
+		for b := 0; b < p.T; b++ {
+			gf256.MulSlice(lc[p.K+b], blind[b], payload)
+		}
+		shares[i] = Share{
+			X:         x,
+			Threshold: byte(p.T),
+			PackCount: byte(p.K),
+			SecretLen: len(secret),
+			Payload:   payload,
+		}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from at least t+k shares.
+func Combine(shares []Share) ([]byte, error) {
+	if len(shares) == 0 {
+		return nil, ErrTooFewShares
+	}
+	t := int(shares[0].Threshold)
+	k := int(shares[0].PackCount)
+	secLen := shares[0].SecretLen
+	slotLen := len(shares[0].Payload)
+	need := t + k
+	if len(shares) < need {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), need)
+	}
+	seen := make(map[byte]bool, len(shares))
+	for _, s := range shares {
+		if int(s.Threshold) != t || int(s.PackCount) != k || s.SecretLen != secLen || len(s.Payload) != slotLen {
+			return nil, ErrShapeMismatch
+		}
+		if seen[s.X] {
+			return nil, fmt.Errorf("%w: x=%d", ErrDuplicateShare, s.X)
+		}
+		seen[s.X] = true
+	}
+	use := shares[:need]
+	xs := make([]byte, need)
+	for i, s := range use {
+		xs[i] = s.X
+	}
+	out := make([]byte, 0, secLen)
+	// Interpolate the polynomial at each secret point 0..k-1.
+	slots := make([][]byte, k)
+	for s := 0; s < k; s++ {
+		lc := gf256.LagrangeCoeffs(xs, byte(s))
+		slot := make([]byte, slotLen)
+		for i, sh := range use {
+			gf256.MulSlice(lc[i], sh.Payload, slot)
+		}
+		slots[s] = slot
+	}
+	for s := 0; s < k; s++ {
+		out = append(out, slots[s]...)
+	}
+	return out[:secLen], nil
+}
+
+// StorageOverhead returns the ratio of total stored bytes to secret bytes
+// for a secret of the given length under p: n·ceil(L/k) / L. For large L
+// this tends to n/k, the Figure 1 position of packed sharing.
+func StorageOverhead(p Params, secretLen int) float64 {
+	if secretLen <= 0 {
+		return 0
+	}
+	slotLen := (secretLen + p.K - 1) / p.K
+	return float64(p.N*slotLen) / float64(secretLen)
+}

@@ -1,0 +1,233 @@
+package packed
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitCombineRoundTrip(t *testing.T) {
+	secret := []byte("packed secret sharing amortises storage across k slots")
+	for _, p := range []Params{
+		{N: 8, T: 2, K: 4},
+		{N: 8, T: 4, K: 2},
+		{N: 16, T: 4, K: 8},
+		{N: 3, T: 1, K: 1}, // degenerates to Shamir t=1... structurally
+		{N: 5, T: 2, K: 3},
+	} {
+		shares, err := Split(secret, p, rand.Reader)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		got, err := Combine(shares[:p.RecoverThreshold()])
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("%+v: mismatch", p)
+		}
+	}
+}
+
+func TestCombineAnySubset(t *testing.T) {
+	p := Params{N: 10, T: 3, K: 4}
+	secret := make([]byte, 101)
+	rand.Read(secret)
+	shares, err := Split(secret, p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		idx := rng.Perm(p.N)[:p.RecoverThreshold()]
+		sub := make([]Share, len(idx))
+		for i, j := range idx {
+			sub[i] = shares[j]
+		}
+		got, err := Combine(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("subset %v mismatch", idx)
+		}
+	}
+}
+
+func TestTooFewShares(t *testing.T) {
+	p := Params{N: 8, T: 2, K: 4}
+	shares, _ := Split([]byte("abc"), p, rand.Reader)
+	if _, err := Combine(shares[:p.RecoverThreshold()-1]); !errors.Is(err, ErrTooFewShares) {
+		t.Fatalf("expected ErrTooFewShares, got %v", err)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := []Params{
+		{N: 0, T: 1, K: 1},
+		{N: 4, T: 0, K: 1},
+		{N: 4, T: 1, K: 0},
+		{N: 4, T: 3, K: 2},     // t+k > n
+		{N: 200, T: 40, K: 30}, // k+t+n > 256
+	}
+	for _, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("%+v: expected ErrInvalidParams, got %v", p, err)
+		}
+	}
+	if err := (Params{N: 8, T: 2, K: 4}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestEmptySecret(t *testing.T) {
+	if _, err := Split(nil, Params{N: 8, T: 2, K: 4}, rand.Reader); !errors.Is(err, ErrEmptySecret) {
+		t.Fatalf("expected ErrEmptySecret, got %v", err)
+	}
+}
+
+func TestDuplicateShare(t *testing.T) {
+	p := Params{N: 8, T: 2, K: 2}
+	shares, _ := Split([]byte("dup"), p, rand.Reader)
+	sub := []Share{shares[0], shares[0], shares[1], shares[2]}
+	if _, err := Combine(sub); !errors.Is(err, ErrDuplicateShare) {
+		t.Fatalf("expected ErrDuplicateShare, got %v", err)
+	}
+}
+
+func TestShapeMismatch(t *testing.T) {
+	p := Params{N: 8, T: 2, K: 2}
+	a, _ := Split([]byte("aaaa"), p, rand.Reader)
+	b, _ := Split([]byte("bbbbbbbb"), p, rand.Reader)
+	mixed := []Share{a[0], b[1], a[2], a[3]}
+	if _, err := Combine(mixed); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("expected ErrShapeMismatch, got %v", err)
+	}
+}
+
+// TestPrivacyThreshold verifies that t shares are independent of the
+// secret, by the same single-byte enumeration argument as the Shamir test:
+// with k=1, t=1 and a 1-byte secret, one share must be consistent with
+// every possible secret value.
+func TestPrivacyThreshold(t *testing.T) {
+	p := Params{N: 3, T: 1, K: 1}
+	// For every candidate secret s and blinding value b there is a unique
+	// degree-1 polynomial through (0, s), (1, b); the share at x=2 is
+	// determined. Count consistency of an observed share value.
+	shares, err := Split([]byte{0x7E}, p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := shares[0] // point x=2
+	count := 0
+	for s := 0; s < 256; s++ {
+		for b := 0; b < 256; b++ {
+			// Linear interpolation at x=2 of (0,s),(1,b) over GF(256):
+			// f(x) = s + (s^b)·x  since f(1) = s + (s^b) = b.
+			y := byte(s) ^ mulByte(byte(s)^byte(b), obs.X)
+			if y == obs.Payload[0] {
+				count++
+			}
+		}
+	}
+	if count != 256 {
+		t.Fatalf("share consistent with %d (secret, blind) pairs, want 256", count)
+	}
+}
+
+func mulByte(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func TestStorageOverhead(t *testing.T) {
+	p := Params{N: 8, T: 2, K: 4}
+	// L = 4096, slot = 1024, total = 8*1024 → 2x
+	if got := StorageOverhead(p, 4096); got != 2.0 {
+		t.Fatalf("StorageOverhead = %v, want 2.0", got)
+	}
+	// Shamir-equivalent k=1 costs n×.
+	if got := StorageOverhead(Params{N: 8, T: 2, K: 1}, 4096); got != 8.0 {
+		t.Fatalf("k=1 overhead = %v, want 8.0", got)
+	}
+	if StorageOverhead(p, 0) != 0 {
+		t.Fatal("zero-length overhead should be 0")
+	}
+}
+
+func TestShareSizeIsSlotSize(t *testing.T) {
+	p := Params{N: 8, T: 2, K: 4}
+	secret := make([]byte, 1000)
+	shares, _ := Split(secret, p, rand.Reader)
+	want := (1000 + 3) / 4
+	for _, s := range shares {
+		if len(s.Payload) != want {
+			t.Fatalf("share payload %d bytes, want %d", len(s.Payload), want)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	p := Params{N: 9, T: 3, K: 3}
+	f := func(secret []byte, seed int64) bool {
+		if len(secret) == 0 {
+			return true
+		}
+		shares, err := Split(secret, p, rand.Reader)
+		if err != nil {
+			return false
+		}
+		rng := mrand.New(mrand.NewSource(seed))
+		idx := rng.Perm(p.N)[:p.RecoverThreshold()]
+		sub := make([]Share, len(idx))
+		for i, j := range idx {
+			sub[i] = shares[j]
+		}
+		got, err := Combine(sub)
+		return err == nil && bytes.Equal(got, secret)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSplit8_2_4_64KiB(b *testing.B) {
+	secret := make([]byte, 64<<10)
+	rand.Read(secret)
+	p := Params{N: 8, T: 2, K: 4}
+	b.SetBytes(int64(len(secret)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(secret, p, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCombine8_2_4_64KiB(b *testing.B) {
+	secret := make([]byte, 64<<10)
+	rand.Read(secret)
+	p := Params{N: 8, T: 2, K: 4}
+	shares, _ := Split(secret, p, rand.Reader)
+	b.SetBytes(int64(len(secret)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Combine(shares[:p.RecoverThreshold()]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

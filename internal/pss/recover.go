@@ -1,0 +1,90 @@
+package pss
+
+import (
+	"fmt"
+	"io"
+
+	"securearchive/internal/gf256"
+	"securearchive/internal/shamir"
+)
+
+// RecoverShare rebuilds the share of a crashed or wiped holder without
+// exposing the secret OR the helpers' shares: the blinded share-recovery
+// sub-protocol of proactive schemes (POTSHARDS calls the capability
+// "disaster recovery"; Wong et al. require it for redistribution with
+// departed members).
+//
+// Protocol: t helper holders agree on a random blinding polynomial r of
+// degree ≤ t−1 with r(x_lost) = 0. Each helper i sends the single value
+// f(x_i) + r(x_i) to the recovering node, which interpolates the t
+// blinded points at x_lost and obtains f(x_lost) + 0. Because r is
+// otherwise random, the t−1 values any observer (including the recovering
+// node) sees are uniform: nothing about f beyond f(x_lost) leaks.
+//
+// The rebuilt share is written back into the committee; helpers are the
+// first t holders other than lost. Traffic is metered in Stats.
+func (c *DataCommittee) RecoverShare(lost int, rnd io.Reader) error {
+	if lost < 0 || lost >= c.N {
+		return fmt.Errorf("%w: holder %d", ErrWrongCommittee, lost)
+	}
+	xLost := c.Shares[lost].X
+
+	// Helpers: first t holders that are not the lost one.
+	helpers := make([]int, 0, c.T)
+	for i := 0; i < c.N && len(helpers) < c.T; i++ {
+		if i != lost {
+			helpers = append(helpers, i)
+		}
+	}
+	if len(helpers) < c.T {
+		return fmt.Errorf("%w: need %d helpers", ErrTooFewHolders, c.T)
+	}
+
+	// Blinding polynomial r: degree ≤ t−1, r(xLost) = 0, random at the
+	// first t−1 helper points; its value at the last helper point follows
+	// by interpolation.
+	basisX := make([]byte, c.T) // xLost plus t−1 helper points
+	basisX[0] = xLost
+	basisY := make([][]byte, c.T)
+	basisY[0] = make([]byte, c.SecretLen) // r(xLost) = 0
+	for k := 1; k < c.T; k++ {
+		basisX[k] = c.Shares[helpers[k-1]].X
+		v := make([]byte, c.SecretLen)
+		if _, err := io.ReadFull(rnd, v); err != nil {
+			return fmt.Errorf("pss: reading randomness: %w", err)
+		}
+		basisY[k] = v
+	}
+	// Evaluate r at every helper point.
+	rAt := func(x byte) []byte {
+		lc := gf256.LagrangeCoeffs(basisX, x)
+		out := make([]byte, c.SecretLen)
+		for k := range basisX {
+			gf256.MulSlice(lc[k], basisY[k], out)
+		}
+		return out
+	}
+
+	// Each helper sends y_i = f(x_i) + r(x_i).
+	blinded := make([]shamir.Share, c.T)
+	for k, h := range helpers {
+		hx := c.Shares[h].X
+		rv := rAt(hx)
+		y := make([]byte, c.SecretLen)
+		for j := range y {
+			y[j] = c.Shares[h].Payload[j] ^ rv[j]
+		}
+		blinded[k] = shamir.Share{X: hx, Threshold: byte(c.T), Payload: y}
+		c.Stats.Messages++
+		c.Stats.Bytes += int64(c.SecretLen + 2)
+	}
+
+	// The recovering node interpolates at xLost: f(xLost) + r(xLost) =
+	// f(xLost).
+	payload, err := shamir.CombineAt(blinded, xLost)
+	if err != nil {
+		return fmt.Errorf("pss: recovery interpolation: %w", err)
+	}
+	c.Shares[lost] = shamir.Share{X: xLost, Threshold: byte(c.T), Payload: payload}
+	return nil
+}

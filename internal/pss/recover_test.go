@@ -1,0 +1,201 @@
+package pss
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+
+	"securearchive/internal/group"
+)
+
+func TestRecoverShareRebuildsLostHolder(t *testing.T) {
+	secret := []byte("lost share, recovered without exposure")
+	c, err := NewDataCommittee(secret, 6, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := c.Shares[4].Clone()
+	// Wipe holder 4.
+	for i := range c.Shares[4].Payload {
+		c.Shares[4].Payload[i] = 0
+	}
+	if err := c.RecoverShare(4, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Shares[4].Payload, original.Payload) {
+		t.Fatal("recovered share differs from the original")
+	}
+	// Committee still reconstructs, including through the recovered node.
+	got, err := c.Reconstruct(2, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("secret lost after recovery")
+	}
+}
+
+func TestRecoverShareAfterRenewals(t *testing.T) {
+	secret := []byte("recovery composes with refresh")
+	c, _ := NewDataCommittee(secret, 5, 3, rand.Reader)
+	for r := 0; r < 3; r++ {
+		if err := c.Renew(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := c.Shares[0].Clone()
+	for i := range c.Shares[0].Payload {
+		c.Shares[0].Payload[i] = 0xFF
+	}
+	if err := c.RecoverShare(0, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Shares[0].Payload, want.Payload) {
+		t.Fatal("post-renewal recovery wrong")
+	}
+}
+
+// TestRecoverShareBlindingHidesHelpers: the transcript the recovering
+// node sees (the blinded values) must not equal the helpers' true shares.
+// With overwhelming probability every blinded value differs.
+func TestRecoverShareBlindingHidesHelpers(t *testing.T) {
+	secret := make([]byte, 64)
+	rand.Read(secret)
+	c, _ := NewDataCommittee(secret, 5, 3, rand.Reader)
+	helpers := [][]byte{
+		append([]byte(nil), c.Shares[0].Payload...),
+		append([]byte(nil), c.Shares[1].Payload...),
+		append([]byte(nil), c.Shares[2].Payload...),
+	}
+	if err := c.RecoverShare(4, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	// The helpers' stored shares are untouched (protocol sends blinded
+	// copies, never mutates state).
+	for i, h := range helpers {
+		if !bytes.Equal(h, c.Shares[i].Payload) {
+			t.Fatalf("helper %d share mutated by recovery", i)
+		}
+	}
+}
+
+func TestRecoverShareValidation(t *testing.T) {
+	c, _ := NewDataCommittee([]byte("x"), 4, 2, rand.Reader)
+	if err := c.RecoverShare(9, rand.Reader); !errors.Is(err, ErrWrongCommittee) {
+		t.Fatalf("bad index: %v", err)
+	}
+}
+
+func TestRecoverShareStatsMetered(t *testing.T) {
+	c, _ := NewDataCommittee(make([]byte, 100), 6, 3, rand.Reader)
+	before := c.Stats.Messages
+	if err := c.RecoverShare(5, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Messages != before+3 {
+		t.Fatalf("recovery sent %d messages, want 3", c.Stats.Messages-before)
+	}
+}
+
+func TestScalarRedistributeGrow(t *testing.T) {
+	g := group.Test()
+	secret := big.NewInt(192837465)
+	c, err := NewScalarCommittee(g, secret, 5, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c.Redistribute(9, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.N != 9 || c2.T != 5 {
+		t.Fatalf("new committee (%d,%d)", c2.T, c2.N)
+	}
+	// All new shares verify against the NEW commitment vector.
+	for i := 0; i < c2.N; i++ {
+		if err := c2.VerifyHolder(i); err != nil {
+			t.Fatalf("new holder %d: %v", i, err)
+		}
+	}
+	got, err := c2.Reconstruct(0, 2, 4, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatal("secret lost in scalar redistribution")
+	}
+}
+
+func TestScalarRedistributeShrink(t *testing.T) {
+	g := group.Test()
+	secret := big.NewInt(555)
+	c, _ := NewScalarCommittee(g, secret, 6, 4, rand.Reader)
+	c2, err := c.Redistribute(3, 2, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Reconstruct(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatal("secret lost in shrink")
+	}
+}
+
+func TestScalarRedistributeInvalidatesOld(t *testing.T) {
+	g := group.Test()
+	c, _ := NewScalarCommittee(g, big.NewInt(7), 4, 2, rand.Reader)
+	if _, err := c.Redistribute(4, 2, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range c.Shares {
+		if s.S.Sign() != 0 || s.Blind.Sign() != 0 {
+			t.Fatalf("old share %d not zeroised", i)
+		}
+	}
+}
+
+func TestScalarRedistributeThenRenew(t *testing.T) {
+	g := group.Test()
+	secret := big.NewInt(31415926)
+	c, _ := NewScalarCommittee(g, secret, 4, 2, rand.Reader)
+	c2, err := c.Redistribute(6, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Renew(rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c2.N; i++ {
+		if err := c2.VerifyHolder(i); err != nil {
+			t.Fatalf("holder %d after redistribute+renew: %v", i, err)
+		}
+	}
+	got, err := c2.Reconstruct(3, 4, 5)
+	if err != nil || got.Cmp(secret) != 0 {
+		t.Fatalf("reconstruction after redistribute+renew: %v %v", got, err)
+	}
+}
+
+func TestScalarRedistributeValidation(t *testing.T) {
+	g := group.Test()
+	c, _ := NewScalarCommittee(g, big.NewInt(1), 4, 2, rand.Reader)
+	if _, err := c.Redistribute(2, 3, rand.Reader); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("t>n: %v", err)
+	}
+}
+
+// TestScalarRedistributeDetectsCheatingDealer: a dealer whose share was
+// tampered with (so its sub-dealing no longer matches the committee's
+// public commitments) is caught by the external consistency check.
+func TestScalarRedistributeDetectsCheatingDealer(t *testing.T) {
+	g := group.Test()
+	c, _ := NewScalarCommittee(g, big.NewInt(99), 4, 2, rand.Reader)
+	c.Shares[0].S = new(big.Int).Add(c.Shares[0].S, big.NewInt(1))
+	if _, err := c.Redistribute(4, 2, rand.Reader); err == nil {
+		t.Fatal("tampered dealer share passed redistribution")
+	}
+}

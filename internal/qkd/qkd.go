@@ -1,0 +1,239 @@
+// Package qkd simulates BB84 quantum key distribution — the
+// information-theoretic channel LINCOS builds on (§3.2, experiment E10).
+//
+// The protocol: Alice encodes random bits in random bases (rectilinear or
+// diagonal) on single photons; Bob measures each in a random basis. Where
+// bases match, Bob's bit equals Alice's; where they differ, his outcome is
+// uniform. They publicly compare bases ("sifting", keeping ~half), then
+// sacrifice a random sample of sifted bits to estimate the quantum bit
+// error rate (QBER). An intercept-resend eavesdropper must measure each
+// photon in a guessed basis and resend, which corrupts ~25% of the sifted
+// sample — far above the abort threshold, so harvesting the channel is
+// *detectable before any secret is sent*. That detectability, which no
+// classical channel offers, is the whole point; the paper's caveat is the
+// specialised infrastructure it needs.
+//
+// The simulation reproduces the protocol's probability structure exactly
+// (basis mismatch, disturbance, channel noise) with seeded randomness, and
+// finishes with error reconciliation (revealing parities of a sample) and
+// privacy amplification into OTP-grade key bytes.
+package qkd
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadParams = errors.New("qkd: invalid parameters")
+	ErrAborted   = errors.New("qkd: QBER above threshold, channel presumed tapped")
+	ErrTooShort  = errors.New("qkd: sifted key too short for estimation")
+)
+
+// Params configures a BB84 session.
+type Params struct {
+	// Photons is the number of qubits Alice sends.
+	Photons int
+	// NoiseRate is the physical channel's intrinsic error probability
+	// per matched-basis bit (0.00–0.05 is realistic fibre).
+	NoiseRate float64
+	// SampleFraction is the share of sifted bits sacrificed for QBER
+	// estimation (typically 0.25).
+	SampleFraction float64
+	// AbortQBER is the estimation threshold above which the parties
+	// abort (typically 0.11 for BB84 with one-way post-processing).
+	AbortQBER float64
+	// Eavesdrop enables the intercept-resend attacker.
+	Eavesdrop bool
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Photons < 16 {
+		return fmt.Errorf("%w: photons=%d", ErrBadParams, p.Photons)
+	}
+	if p.NoiseRate < 0 || p.NoiseRate >= 0.5 {
+		return fmt.Errorf("%w: noise=%v", ErrBadParams, p.NoiseRate)
+	}
+	if p.SampleFraction <= 0 || p.SampleFraction >= 1 {
+		return fmt.Errorf("%w: sample=%v", ErrBadParams, p.SampleFraction)
+	}
+	if p.AbortQBER <= 0 || p.AbortQBER >= 0.5 {
+		return fmt.Errorf("%w: abort=%v", ErrBadParams, p.AbortQBER)
+	}
+	return nil
+}
+
+// Result reports one BB84 session.
+type Result struct {
+	// Key is the final shared key after privacy amplification; nil if the
+	// session aborted.
+	Key []byte
+	// SiftedBits is the number of matched-basis positions.
+	SiftedBits int
+	// EstimatedQBER is the error rate measured on the sacrificed sample.
+	EstimatedQBER float64
+	// Detected is true when the session aborted due to QBER.
+	Detected bool
+	// EveInfoBits estimates how many sifted-key bits the eavesdropper
+	// learned (correct-basis interceptions of retained bits).
+	EveInfoBits int
+}
+
+// Run executes one session with deterministic randomness from seed.
+func Run(p Params, seed int64) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	type photon struct {
+		aliceBit   byte
+		aliceBasis byte
+		bobBasis   byte
+		bobBit     byte
+		eveKnows   bool
+	}
+	photons := make([]photon, p.Photons)
+	for i := range photons {
+		ph := &photons[i]
+		ph.aliceBit = byte(rng.Intn(2))
+		ph.aliceBasis = byte(rng.Intn(2))
+		ph.bobBasis = byte(rng.Intn(2))
+
+		bitOnWire := ph.aliceBit
+		basisOnWire := ph.aliceBasis
+		if p.Eavesdrop {
+			eveBasis := byte(rng.Intn(2))
+			var eveBit byte
+			if eveBasis == ph.aliceBasis {
+				eveBit = ph.aliceBit
+				ph.eveKnows = true
+			} else {
+				eveBit = byte(rng.Intn(2)) // wrong basis: uniform outcome
+			}
+			// Eve resends in HER basis: the quantum state is now |eveBit⟩
+			// in eveBasis — the disturbance that betrays her.
+			bitOnWire = eveBit
+			basisOnWire = eveBasis
+		}
+
+		if ph.bobBasis == basisOnWire {
+			ph.bobBit = bitOnWire
+		} else {
+			ph.bobBit = byte(rng.Intn(2))
+		}
+		// Intrinsic channel noise flips matched-basis outcomes.
+		if ph.bobBasis == ph.aliceBasis && rng.Float64() < p.NoiseRate {
+			ph.bobBit ^= 1
+		}
+	}
+
+	// Sifting: public basis comparison.
+	var aliceSift, bobSift []byte
+	var eveSift []bool
+	for i := range photons {
+		ph := &photons[i]
+		if ph.aliceBasis == ph.bobBasis {
+			aliceSift = append(aliceSift, ph.aliceBit)
+			bobSift = append(bobSift, ph.bobBit)
+			eveSift = append(eveSift, ph.eveKnows)
+		}
+	}
+	sifted := len(aliceSift)
+	sampleN := int(float64(sifted) * p.SampleFraction)
+	if sampleN < 8 || sifted-sampleN < 8 {
+		return nil, fmt.Errorf("%w: sifted=%d", ErrTooShort, sifted)
+	}
+
+	// QBER estimation on a random sacrificed sample.
+	perm := rng.Perm(sifted)
+	sampleIdx := perm[:sampleN]
+	keepIdx := perm[sampleN:]
+	errs := 0
+	for _, i := range sampleIdx {
+		if aliceSift[i] != bobSift[i] {
+			errs++
+		}
+	}
+	qber := float64(errs) / float64(sampleN)
+	res := &Result{SiftedBits: sifted, EstimatedQBER: qber}
+	if qber > p.AbortQBER {
+		res.Detected = true
+		return res, ErrAborted
+	}
+
+	// Error reconciliation (simulation shortcut): Bob adopts Alice's
+	// retained bits — standard cascade/LDPC reconciliation converges to
+	// this; the information leaked to Eve during reconciliation is
+	// accounted for by the sacrificial margin in privacy amplification.
+	keyBits := make([]byte, 0, len(keepIdx))
+	eveInfo := 0
+	for _, i := range keepIdx {
+		keyBits = append(keyBits, aliceSift[i])
+		if eveSift[i] {
+			eveInfo++
+		}
+	}
+	res.EveInfoBits = eveInfo
+
+	// Privacy amplification: compress to half the retained bits via
+	// SHA-256 in counter mode.
+	outBytes := len(keyBits) / 16 // 1 output byte per 16 key bits
+	if outBytes == 0 {
+		outBytes = 1
+	}
+	packed := packBits(keyBits)
+	key := make([]byte, outBytes)
+	var ctr [8]byte
+	for off := 0; off < outBytes; off += sha256.Size {
+		binary.BigEndian.PutUint64(ctr[:], uint64(off/sha256.Size))
+		h := sha256.New()
+		h.Write([]byte("securearchive/qkd/pa v1"))
+		h.Write(ctr[:])
+		h.Write(packed)
+		copy(key[off:], h.Sum(nil))
+	}
+	res.Key = key
+	return res, nil
+}
+
+func packBits(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b != 0 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// TheoreticalInterceptQBER is the QBER an intercept-resend attack induces
+// on an otherwise noiseless channel: Eve guesses the wrong basis half the
+// time, and each wrong guess flips Bob's matched-basis bit with
+// probability 1/2 → 25%.
+const TheoreticalInterceptQBER = 0.25
+
+// DetectionProbability estimates, by simulation over trials, how often an
+// intercept-resend attacker is caught with the given parameters.
+func DetectionProbability(p Params, trials int, seed int64) (float64, error) {
+	if trials <= 0 {
+		return 0, ErrBadParams
+	}
+	p.Eavesdrop = true
+	caught := 0
+	for i := 0; i < trials; i++ {
+		res, err := Run(p, seed+int64(i))
+		if err != nil && !errors.Is(err, ErrAborted) {
+			return 0, err
+		}
+		if res != nil && res.Detected {
+			caught++
+		}
+	}
+	return float64(caught) / float64(trials), nil
+}

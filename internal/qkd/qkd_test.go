@@ -1,0 +1,160 @@
+package qkd
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func baseParams() Params {
+	return Params{
+		Photons:        8192,
+		NoiseRate:      0.01,
+		SampleFraction: 0.25,
+		AbortQBER:      0.11,
+	}
+}
+
+func TestCleanChannelProducesKey(t *testing.T) {
+	res, err := Run(baseParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Fatal("clean channel flagged as tapped")
+	}
+	if len(res.Key) == 0 {
+		t.Fatal("no key produced")
+	}
+	// Sifting keeps about half the photons.
+	if res.SiftedBits < 3500 || res.SiftedBits > 4700 {
+		t.Fatalf("sifted %d of 8192, want ≈4096", res.SiftedBits)
+	}
+	// QBER should be near the channel noise rate.
+	if res.EstimatedQBER > 0.04 {
+		t.Fatalf("clean QBER %.3f, want ≈0.01", res.EstimatedQBER)
+	}
+}
+
+func TestEavesdropperRaisesQBERToQuarter(t *testing.T) {
+	p := baseParams()
+	p.NoiseRate = 0
+	p.Eavesdrop = true
+	res, err := Run(p, 2)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("intercept-resend not detected: err=%v", err)
+	}
+	if !res.Detected {
+		t.Fatal("Detected flag not set")
+	}
+	if math.Abs(res.EstimatedQBER-TheoreticalInterceptQBER) > 0.05 {
+		t.Fatalf("intercept QBER %.3f, want ≈0.25", res.EstimatedQBER)
+	}
+	if res.Key != nil {
+		t.Fatal("aborted session leaked a key")
+	}
+}
+
+func TestDetectionProbabilityNearCertain(t *testing.T) {
+	p := baseParams()
+	prob, err := DetectionProbability(p, 50, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob < 0.99 {
+		t.Fatalf("detection probability %.2f, want ≈1 at 8192 photons", prob)
+	}
+}
+
+func TestNoFalsePositivesOnCleanChannel(t *testing.T) {
+	p := baseParams()
+	for i := 0; i < 20; i++ {
+		res, err := Run(p, int64(100+i))
+		if err != nil {
+			t.Fatalf("trial %d: clean channel aborted: %v (QBER %.3f)", i, err, res.EstimatedQBER)
+		}
+	}
+}
+
+func TestKeysAgreeDeterministically(t *testing.T) {
+	a, err := Run(baseParams(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseParams(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Key) != string(b.Key) {
+		t.Fatal("same seed produced different keys")
+	}
+}
+
+func TestHighNoiseChannelAborts(t *testing.T) {
+	p := baseParams()
+	p.NoiseRate = 0.2 // noisier than the abort threshold
+	if _, err := Run(p, 3); !errors.Is(err, ErrAborted) {
+		t.Fatalf("20%% noise channel not aborted: %v", err)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := []Params{
+		{Photons: 4, NoiseRate: 0, SampleFraction: 0.25, AbortQBER: 0.11},
+		{Photons: 1024, NoiseRate: 0.6, SampleFraction: 0.25, AbortQBER: 0.11},
+		{Photons: 1024, NoiseRate: 0, SampleFraction: 0, AbortQBER: 0.11},
+		{Photons: 1024, NoiseRate: 0, SampleFraction: 1.0, AbortQBER: 0.11},
+		{Photons: 1024, NoiseRate: 0, SampleFraction: 0.25, AbortQBER: 0},
+	}
+	for i, p := range bad {
+		if _, err := Run(p, 1); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	if _, err := DetectionProbability(baseParams(), 0, 1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero trials: %v", err)
+	}
+}
+
+// TestEveInfoAccounting: with eavesdropping and a LOW abort threshold
+// disabled (high AbortQBER so the run completes), Eve knows about half the
+// retained bits — which is why a completed-but-tapped session is unusable
+// and detection matters.
+func TestEveInfoAccounting(t *testing.T) {
+	p := baseParams()
+	p.NoiseRate = 0
+	p.Eavesdrop = true
+	p.AbortQBER = 0.49 // artificially tolerate the tap
+	res, err := Run(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := res.SiftedBits - int(float64(res.SiftedBits)*p.SampleFraction)
+	frac := float64(res.EveInfoBits) / float64(retained)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("Eve knows %.2f of retained bits, want ≈0.5", frac)
+	}
+}
+
+func TestKeyRateScalesWithPhotons(t *testing.T) {
+	small, err := Run(Params{Photons: 2048, NoiseRate: 0.01, SampleFraction: 0.25, AbortQBER: 0.11}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Params{Photons: 16384, NoiseRate: 0.01, SampleFraction: 0.25, AbortQBER: 0.11}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Key) <= len(small.Key) {
+		t.Fatalf("key did not grow with photons: %d vs %d", len(small.Key), len(big.Key))
+	}
+}
+
+func BenchmarkRun8192Photons(b *testing.B) {
+	p := baseParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package reencrypt implements delegated re-encryption for archived
+// stream-cipher envelopes — the §3.2 technique ("this re-encryption could
+// be delegated to the storage system, without giving the system access to
+// user keys, using ... Universal Proxy Re-Encryption") instantiated for
+// the cascade's stream-cipher layers.
+//
+// For a CTR-style layer, ciphertext = plaintext ⊕ KS(k_old, n_old). The
+// data owner — who alone holds keys — derives a re-encryption pad
+//
+//	R = KS(k_old, n_old) ⊕ KS(k_new, n_new)
+//
+// and hands ONLY R to the storage system. The system applies it in place:
+// ct ⊕ R = plaintext ⊕ KS(k_new, n_new). The system never sees plaintext
+// or either key; R is one-time material bound to this ciphertext (reusing
+// it across objects would leak keystream differences, which Token
+// enforces by construction: one token per envelope).
+//
+// What delegation does NOT buy — the paper's point — is I/O: the system
+// still reads and rewrites every byte. Stats meters exactly that, and the
+// costmodel package prices it at archive scale. And no re-encryption of
+// any kind helps against ciphertext harvested before the rotation; that
+// remains E4's lesson.
+package reencrypt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"securearchive/internal/cascade"
+)
+
+// Errors returned by this package.
+var (
+	ErrLayerMismatch = errors.New("reencrypt: token does not match envelope layer")
+	ErrNoLayers      = errors.New("reencrypt: envelope has no layers")
+	ErrSizeMismatch  = errors.New("reencrypt: token sized for a different ciphertext")
+)
+
+// Token is the re-encryption pad for one envelope's outermost layer,
+// produced by the key holder and applied by the (untrusted) store.
+type Token struct {
+	// Pad is R = KS_old ⊕ KS_new, exactly ciphertext-sized.
+	Pad []byte
+	// NewScheme and NewNonce describe the layer after application.
+	NewScheme cascade.Scheme
+	NewNonce  []byte
+	// OldScheme guards against applying the token to the wrong envelope.
+	OldScheme cascade.Scheme
+}
+
+// Stats meters the store-side work delegation cannot avoid.
+type Stats struct {
+	BytesRead    int64
+	BytesWritten int64
+	Tokens       int
+}
+
+// NewToken is run BY THE OWNER: given the envelope's outermost layer key
+// and a fresh key for the replacement scheme, derive the pad. bodyLen
+// must equal the envelope body length.
+func NewToken(oldKey cascade.LayerKey, oldNonce []byte, newScheme cascade.Scheme, bodyLen int, rnd io.Reader) (*Token, cascade.LayerKey, error) {
+	oldC, err := cascade.Get(oldKey.Scheme)
+	if err != nil {
+		return nil, cascade.LayerKey{}, err
+	}
+	newKeys, err := cascade.GenerateKeys([]cascade.Scheme{newScheme}, rnd)
+	if err != nil {
+		return nil, cascade.LayerKey{}, err
+	}
+	newC, err := cascade.Get(newScheme)
+	if err != nil {
+		return nil, cascade.LayerKey{}, err
+	}
+	newNonce := make([]byte, newC.NonceSize())
+	if _, err := io.ReadFull(rnd, newNonce); err != nil {
+		return nil, cascade.LayerKey{}, fmt.Errorf("reencrypt: reading randomness: %w", err)
+	}
+	// Pad = KS_old ⊕ KS_new, computed by XORing each keystream into a
+	// zero buffer.
+	pad := make([]byte, bodyLen)
+	if err := oldC.XOR(pad, pad, oldKey.Key, oldNonce); err != nil {
+		return nil, cascade.LayerKey{}, err
+	}
+	if err := newC.XOR(pad, pad, newKeys[0].Key, newNonce); err != nil {
+		return nil, cascade.LayerKey{}, err
+	}
+	return &Token{
+		Pad:       pad,
+		NewScheme: newScheme,
+		NewNonce:  newNonce,
+		OldScheme: oldKey.Scheme,
+	}, newKeys[0], nil
+}
+
+// Apply is run BY THE STORE: swap the envelope's outermost layer using
+// only the token. The envelope is modified in place; the store reads and
+// writes every byte (metered), but learns nothing.
+func Apply(env *cascade.Envelope, tok *Token, st *Stats) error {
+	if len(env.Layers) == 0 {
+		return ErrNoLayers
+	}
+	top := &env.Layers[len(env.Layers)-1]
+	if top.Scheme != tok.OldScheme {
+		return fmt.Errorf("%w: envelope top is %s, token expects %s", ErrLayerMismatch, top.Scheme, tok.OldScheme)
+	}
+	if len(tok.Pad) != len(env.Body) {
+		return fmt.Errorf("%w: pad %d, body %d", ErrSizeMismatch, len(tok.Pad), len(env.Body))
+	}
+	for i := range env.Body {
+		env.Body[i] ^= tok.Pad[i]
+	}
+	top.Scheme = tok.NewScheme
+	top.Nonce = tok.NewNonce
+	if st != nil {
+		st.BytesRead += int64(len(env.Body))
+		st.BytesWritten += int64(len(env.Body))
+		st.Tokens++
+	}
+	return nil
+}
+
+// RotateOutermost is the owner+store round trip in one call: derive a
+// token for the envelope's outermost layer (whose key is keys[len-1]),
+// apply it, and return the updated key stack.
+func RotateOutermost(env *cascade.Envelope, keys []cascade.LayerKey, newScheme cascade.Scheme, st *Stats, rnd io.Reader) ([]cascade.LayerKey, error) {
+	if len(env.Layers) == 0 || len(keys) != len(env.Layers) {
+		return nil, ErrNoLayers
+	}
+	top := env.Layers[len(env.Layers)-1]
+	tok, newKey, err := NewToken(keys[len(keys)-1], top.Nonce, newScheme, len(env.Body), rnd)
+	if err != nil {
+		return nil, err
+	}
+	if err := Apply(env, tok, st); err != nil {
+		return nil, err
+	}
+	out := append([]cascade.LayerKey(nil), keys[:len(keys)-1]...)
+	return append(out, newKey), nil
+}

@@ -1,0 +1,184 @@
+package reencrypt
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"securearchive/internal/cascade"
+)
+
+func encryptOne(t *testing.T, msg []byte, schemes ...cascade.Scheme) (*cascade.Envelope, []cascade.LayerKey) {
+	t.Helper()
+	keys, err := cascade.GenerateKeys(schemes, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := cascade.Encrypt(msg, keys, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, keys
+}
+
+func TestRotateOutermostRoundTrip(t *testing.T) {
+	msg := []byte("rotate my outer layer without reading me")
+	env, keys := encryptOne(t, msg, cascade.AES256CTR)
+	var st Stats
+	newKeys, err := RotateOutermost(env, keys, cascade.ChaCha20, &st, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Layers[0].Scheme != cascade.ChaCha20 {
+		t.Fatalf("layer scheme is %s after rotation", env.Layers[0].Scheme)
+	}
+	got, err := cascade.Decrypt(env, newKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("rotation corrupted the plaintext")
+	}
+	// The OLD key must no longer decrypt.
+	if got, err := cascade.Decrypt(env, keys); err == nil && bytes.Equal(got, msg) {
+		t.Fatal("old key still decrypts after rotation")
+	}
+}
+
+func TestRotationOnCascadeTopLayer(t *testing.T) {
+	msg := []byte("multi-layer envelope")
+	env, keys := encryptOne(t, msg, cascade.AES256CTR, cascade.SHA256CTR)
+	newKeys, err := RotateOutermost(env, keys, cascade.ChaCha20, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Layers) != 2 || env.Layers[1].Scheme != cascade.ChaCha20 {
+		t.Fatalf("layers after rotation: %+v", env.Layers)
+	}
+	got, err := cascade.Decrypt(env, newKeys)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("decrypt after top rotation: %v", err)
+	}
+}
+
+// TestStoreSeesNoPlaintext: the token and the envelope body, together,
+// must not reveal the plaintext. We check the store's view (body before,
+// body after, pad) never equals the plaintext anywhere.
+func TestStoreSeesNoPlaintext(t *testing.T) {
+	msg := bytes.Repeat([]byte("SECRET42"), 16)
+	env, keys := encryptOne(t, msg, cascade.AES256CTR)
+	before := append([]byte(nil), env.Body...)
+	top := env.Layers[0]
+	tok, _, err := NewToken(keys[0], top.Nonce, cascade.ChaCha20, len(env.Body), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(env, tok, nil); err != nil {
+		t.Fatal(err)
+	}
+	for name, view := range map[string][]byte{
+		"body-before": before, "body-after": env.Body, "pad": tok.Pad,
+	} {
+		if bytes.Contains(view, []byte("SECRET42")) {
+			t.Fatalf("store view %q contains plaintext", name)
+		}
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	msg := []byte("validate")
+	env, keys := encryptOne(t, msg, cascade.AES256CTR)
+	tok, _, err := NewToken(keys[0], env.Layers[0].Nonce, cascade.ChaCha20, len(env.Body), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong old scheme.
+	bad := *tok
+	bad.OldScheme = cascade.SHA256CTR
+	if err := Apply(env, &bad, nil); !errors.Is(err, ErrLayerMismatch) {
+		t.Fatalf("scheme mismatch: %v", err)
+	}
+	// Wrong size.
+	short := *tok
+	short.Pad = tok.Pad[:len(tok.Pad)-1]
+	if err := Apply(env, &short, nil); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("size mismatch: %v", err)
+	}
+	// Empty envelope.
+	if err := Apply(&cascade.Envelope{}, tok, nil); !errors.Is(err, ErrNoLayers) {
+		t.Fatalf("empty envelope: %v", err)
+	}
+}
+
+func TestStatsMeterTheIO(t *testing.T) {
+	msg := make([]byte, 10000)
+	env, keys := encryptOne(t, msg, cascade.AES256CTR)
+	var st Stats
+	if _, err := RotateOutermost(env, keys, cascade.SHA256CTR, &st, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesRead != 10000 || st.BytesWritten != 10000 || st.Tokens != 1 {
+		t.Fatalf("stats = %+v; delegation must still pay full I/O", st)
+	}
+}
+
+// TestRepeatedRotations: a year of quarterly rotations composes.
+func TestRepeatedRotations(t *testing.T) {
+	msg := []byte("rotate me every quarter")
+	env, keys := encryptOne(t, msg, cascade.AES256CTR)
+	schemes := []cascade.Scheme{cascade.ChaCha20, cascade.SHA256CTR, cascade.AES256CTR, cascade.ChaCha20}
+	var err error
+	for _, s := range schemes {
+		keys, err = RotateOutermost(env, keys, s, nil, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cascade.Decrypt(env, keys)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("after 4 rotations: %v", err)
+	}
+}
+
+func TestNewTokenValidation(t *testing.T) {
+	good := cascade.LayerKey{Scheme: cascade.AES256CTR, Key: make([]byte, 32)}
+	nonce := make([]byte, 16)
+	if _, _, err := NewToken(cascade.LayerKey{Scheme: "rot13", Key: nil}, nonce, cascade.ChaCha20, 10, rand.Reader); err == nil {
+		t.Fatal("unknown old scheme accepted")
+	}
+	if _, _, err := NewToken(good, nonce, "rot13", 10, rand.Reader); err == nil {
+		t.Fatal("unknown new scheme accepted")
+	}
+	// Wrong nonce size for the old cipher surfaces from the XOR.
+	if _, _, err := NewToken(good, []byte{1}, cascade.ChaCha20, 10, rand.Reader); err == nil {
+		t.Fatal("bad nonce accepted")
+	}
+}
+
+func TestRotateValidation(t *testing.T) {
+	if _, err := RotateOutermost(&cascade.Envelope{}, nil, cascade.ChaCha20, nil, rand.Reader); !errors.Is(err, ErrNoLayers) {
+		t.Fatalf("empty envelope: %v", err)
+	}
+	msg := []byte("m")
+	env, keys := encryptOne(t, msg, cascade.AES256CTR)
+	if _, err := RotateOutermost(env, keys[:0], cascade.ChaCha20, nil, rand.Reader); !errors.Is(err, ErrNoLayers) {
+		t.Fatalf("key/layer mismatch: %v", err)
+	}
+}
+
+func BenchmarkRotate1MiB(b *testing.B) {
+	msg := make([]byte, 1<<20)
+	keys, _ := cascade.GenerateKeys([]cascade.Scheme{cascade.AES256CTR}, rand.Reader)
+	env, _ := cascade.Encrypt(msg, keys, rand.Reader)
+	k := keys
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	var err error
+	for i := 0; i < b.N; i++ {
+		k, err = RotateOutermost(env, k, cascade.ChaCha20, nil, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package rs implements Reed-Solomon erasure coding over GF(2^8).
+//
+// A Code with k data shards and m parity shards tolerates the loss of any
+// m of the n = k+m shards. Encoding is systematic: the first k shards are
+// the data itself, so reads that find all data shards intact need no
+// decoding. The parity rows come from a Cauchy matrix, every square
+// submatrix of which is invertible, guaranteeing the MDS property.
+//
+// This is the erasure-coding substrate the paper's Figure 1 places in the
+// "low cost / low security" quadrant, and the dispersal layer of AONT-RS
+// (Resch & Plank, FAST '11). Package shamir provides the non-systematic
+// counterpart: per McEliece & Sarwate, Shamir secret sharing *is* a
+// non-systematic [n, t] Reed-Solomon code with random high coefficients.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"securearchive/internal/gf256"
+	"securearchive/internal/matrix"
+)
+
+// Limits on code parameters. Evaluation points live in GF(256) \ {0}.
+const (
+	MaxShards = 255
+)
+
+// Errors returned by this package.
+var (
+	ErrInvalidParams   = errors.New("rs: invalid code parameters")
+	ErrTooFewShards    = errors.New("rs: too few shards to reconstruct")
+	ErrShardCount      = errors.New("rs: wrong number of shards")
+	ErrShardSize       = errors.New("rs: shards have inconsistent sizes")
+	ErrEmptyData       = errors.New("rs: empty data")
+	ErrInvalidDataSize = errors.New("rs: data size does not match shards")
+)
+
+// Code is an immutable [n, k] systematic Reed-Solomon erasure code.
+// It is safe for concurrent use.
+type Code struct {
+	data   int // k
+	parity int // m
+	// gen is the full n-by-k systematic generator matrix: the top k rows
+	// are the identity, the bottom m rows are the Cauchy parity rows.
+	gen *matrix.Matrix
+}
+
+// New constructs a code with the given number of data and parity shards.
+// data must be >= 1, parity >= 0, and data+parity <= MaxShards.
+func New(data, parity int) (*Code, error) {
+	if data < 1 || parity < 0 || data+parity > MaxShards {
+		return nil, fmt.Errorf("%w: data=%d parity=%d", ErrInvalidParams, data, parity)
+	}
+	n := data + parity
+	gen := matrix.New(n, data)
+	for i := 0; i < data; i++ {
+		gen.Set(i, i, 1)
+	}
+	if parity > 0 {
+		// Cauchy points: xs for parity rows, ys for data columns, disjoint.
+		xs := make([]byte, parity)
+		ys := make([]byte, data)
+		for j := 0; j < data; j++ {
+			ys[j] = byte(j)
+		}
+		for i := 0; i < parity; i++ {
+			xs[i] = byte(data + i)
+		}
+		cauchy := matrix.Cauchy(xs, ys)
+		for i := 0; i < parity; i++ {
+			copy(gen.Row(data+i), cauchy.Row(i))
+		}
+	}
+	return &Code{data: data, parity: parity, gen: gen}, nil
+}
+
+// DataShards returns k, the number of data shards.
+func (c *Code) DataShards() int { return c.data }
+
+// ParityShards returns m, the number of parity shards.
+func (c *Code) ParityShards() int { return c.parity }
+
+// TotalShards returns n = k + m.
+func (c *Code) TotalShards() int { return c.data + c.parity }
+
+// ShardSize returns the shard length used for a payload of dataLen bytes:
+// ceil(dataLen / k).
+func (c *Code) ShardSize(dataLen int) int {
+	return (dataLen + c.data - 1) / c.data
+}
+
+// Split partitions data into exactly k equally sized shards, zero-padding
+// the final shard. The shards do not alias data.
+func (c *Code) Split(data []byte) ([][]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
+	size := c.ShardSize(len(data))
+	shards := make([][]byte, c.data)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		lo := i * size
+		if lo < len(data) {
+			copy(shards[i], data[lo:min(lo+size, len(data))])
+		}
+	}
+	return shards, nil
+}
+
+// Encode splits data into k shards, computes the m parity shards, and
+// returns all n shards. Use Join (with the original length) to recover the
+// data after Reconstruct.
+func (c *Code) Encode(data []byte) ([][]byte, error) {
+	dataShards, err := c.Split(data)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([][]byte, c.TotalShards())
+	copy(shards, dataShards)
+	size := len(dataShards[0])
+	for i := c.data; i < c.TotalShards(); i++ {
+		shards[i] = make([]byte, size)
+	}
+	if err := c.EncodeShards(shards); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// EncodeShards computes parity in place: shards must hold n slices of equal
+// length, the first k containing data; the last m are overwritten.
+func (c *Code) EncodeShards(shards [][]byte) error {
+	if err := c.checkShape(shards, true); err != nil {
+		return err
+	}
+	for i := 0; i < c.parity; i++ {
+		row := c.gen.Row(c.data + i)
+		out := shards[c.data+i]
+		for j := range out {
+			out[j] = 0
+		}
+		for j := 0; j < c.data; j++ {
+			gf256.MulSlice(row[j], shards[j], out)
+		}
+	}
+	return nil
+}
+
+// Verify recomputes parity from the data shards and reports whether it
+// matches the provided parity shards. All n shards must be present.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	if err := c.checkShape(shards, true); err != nil {
+		return false, err
+	}
+	if c.parity == 0 {
+		return true, nil
+	}
+	size := len(shards[0])
+	scratch := make([]byte, size)
+	for i := 0; i < c.parity; i++ {
+		row := c.gen.Row(c.data + i)
+		for j := range scratch {
+			scratch[j] = 0
+		}
+		for j := 0; j < c.data; j++ {
+			gf256.MulSlice(row[j], shards[j], scratch)
+		}
+		for j := range scratch {
+			if scratch[j] != shards[c.data+i][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct fills in missing (nil) shards in place. At least k shards
+// must be present. Present shards are never modified; reconstructed shards
+// are freshly allocated.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: have %d, want %d", ErrShardCount, len(shards), c.TotalShards())
+	}
+	present := make([]int, 0, c.TotalShards())
+	missing := make([]int, 0, c.TotalShards())
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return ErrShardSize
+		}
+		present = append(present, i)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(present) < c.data {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.data)
+	}
+
+	// Select k present rows of the generator, invert, recover data shards.
+	rows := present[:c.data]
+	sub := c.gen.SubMatrix(rows)
+	dec, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for an MDS generator; report rather than panic.
+		return fmt.Errorf("rs: decode matrix inversion failed: %w", err)
+	}
+	inputs := make([][]byte, c.data)
+	for i, r := range rows {
+		inputs[i] = shards[r]
+	}
+
+	// Only compute the data shards we actually need: missing data shards,
+	// plus all data shards if any parity shard is missing.
+	needAllData := false
+	for _, mi := range missing {
+		if mi >= c.data {
+			needAllData = true
+			break
+		}
+	}
+	dataOut := make([][]byte, c.data)
+	for d := 0; d < c.data; d++ {
+		have := shards[d] != nil
+		if have && !needAllData {
+			continue
+		}
+		if have {
+			dataOut[d] = shards[d]
+			continue
+		}
+		out := make([]byte, size)
+		row := dec.Row(d)
+		for j := 0; j < c.data; j++ {
+			gf256.MulSlice(row[j], inputs[j], out)
+		}
+		dataOut[d] = out
+		shards[d] = out
+	}
+
+	// Recompute any missing parity shards from the (now complete) data.
+	for _, mi := range missing {
+		if mi < c.data {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.gen.Row(mi)
+		for j := 0; j < c.data; j++ {
+			gf256.MulSlice(row[j], dataOut[j], out)
+		}
+		shards[mi] = out
+	}
+	return nil
+}
+
+// Join reassembles the original payload of length dataLen from the k data
+// shards (shards[0:k] must all be present, e.g. after Reconstruct).
+func (c *Code) Join(shards [][]byte, dataLen int) ([]byte, error) {
+	if len(shards) < c.data {
+		return nil, fmt.Errorf("%w: have %d, want at least %d", ErrShardCount, len(shards), c.data)
+	}
+	if dataLen <= 0 {
+		return nil, ErrEmptyData
+	}
+	size := c.ShardSize(dataLen)
+	out := make([]byte, 0, dataLen)
+	for i := 0; i < c.data && len(out) < dataLen; i++ {
+		s := shards[i]
+		if s == nil {
+			return nil, fmt.Errorf("rs: data shard %d missing: %w", i, ErrTooFewShards)
+		}
+		if len(s) != size {
+			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrInvalidDataSize, i, len(s), size)
+		}
+		take := min(size, dataLen-len(out))
+		out = append(out, s[:take]...)
+	}
+	return out, nil
+}
+
+func (c *Code) checkShape(shards [][]byte, needAll bool) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: have %d, want %d", ErrShardCount, len(shards), c.TotalShards())
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if needAll {
+				return fmt.Errorf("%w: shard %d is nil", ErrShardCount, i)
+			}
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return ErrShardSize
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+// Package sec defines the security-classification vocabulary shared by
+// the systems and core packages: the axes of the paper's Table 1 and the
+// coordinates of its Figure 1.
+package sec
+
+import "fmt"
+
+// Class is a confidentiality classification.
+type Class int
+
+// Confidentiality classes, ordered by strength.
+const (
+	// None provides no confidentiality (plaintext, bare erasure coding,
+	// replication).
+	None Class = iota
+	// Computational security rests on hardness assumptions and therefore
+	// decays with cryptanalysis — the paper's central worry.
+	Computational
+	// Entropic security is information-theoretic *conditioned on message
+	// min-entropy*: unconditional for high-entropy data, void otherwise.
+	Entropic
+	// ITSometimes marks systems (PASIS) that are information-theoretic
+	// only under some of their deployable configurations.
+	ITSometimes
+	// IT is unconditional, information-theoretic security.
+	IT
+)
+
+// String renders the class as Table 1 does.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "None"
+	case Computational:
+		return "Computational"
+	case Entropic:
+		return "Entropic"
+	case ITSometimes:
+		return "ITS (sometimes)"
+	case IT:
+		return "ITS"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// SecurityLevel maps the class to Figure 1's qualitative x-axis,
+// 0 (none) .. 4 (information-theoretic).
+func (c Class) SecurityLevel() int { return int(c) }
+
+// CostBand is Table 1's storage-cost column.
+type CostBand int
+
+// Cost bands.
+const (
+	CostLow CostBand = iota
+	CostLowHigh
+	CostHigh
+)
+
+// String renders the band as Table 1 does.
+func (b CostBand) String() string {
+	switch b {
+	case CostLow:
+		return "Low"
+	case CostLowHigh:
+		return "Low-High"
+	case CostHigh:
+		return "High"
+	default:
+		return fmt.Sprintf("CostBand(%d)", int(b))
+	}
+}
+
+// BandFromOverhead buckets a measured bytes-stored-per-byte overhead into
+// Table 1's coarse bands: below 2.5× is "Low" (erasure-coding territory),
+// at or above n-fold replication territory (≥2.5×) is "High".
+func BandFromOverhead(overhead float64) CostBand {
+	if overhead < 2.5 {
+		return CostLow
+	}
+	return CostHigh
+}
+
+// Profile is one system's full Table 1 row plus measured cost.
+type Profile struct {
+	System           string
+	TransitClass     Class
+	RestClass        Class
+	MeasuredCost     float64 // bytes stored per plaintext byte
+	CostBand         CostBand
+	LeakageResilient bool // Figure 1's LRSS distinction
+}

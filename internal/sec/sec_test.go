@@ -1,0 +1,61 @@
+package sec
+
+import "testing"
+
+func TestClassStrings(t *testing.T) {
+	cases := map[Class]string{
+		None:          "None",
+		Computational: "Computational",
+		Entropic:      "Entropic",
+		ITSometimes:   "ITS (sometimes)",
+		IT:            "ITS",
+		Class(99):     "Class(99)",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestSecurityLevelsOrdered(t *testing.T) {
+	order := []Class{None, Computational, Entropic, ITSometimes, IT}
+	for i := 1; i < len(order); i++ {
+		if order[i].SecurityLevel() <= order[i-1].SecurityLevel() {
+			t.Fatalf("security levels not strictly increasing at %v", order[i])
+		}
+	}
+}
+
+func TestCostBandStrings(t *testing.T) {
+	cases := map[CostBand]string{
+		CostLow:      "Low",
+		CostLowHigh:  "Low-High",
+		CostHigh:     "High",
+		CostBand(42): "CostBand(42)",
+	}
+	for b, want := range cases {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(b), b.String(), want)
+		}
+	}
+}
+
+func TestBandFromOverhead(t *testing.T) {
+	cases := []struct {
+		oh   float64
+		want CostBand
+	}{
+		{1.0, CostLow},
+		{1.5, CostLow},
+		{2.49, CostLow},
+		{2.5, CostHigh},
+		{6.0, CostHigh},
+		{72.0, CostHigh},
+	}
+	for _, c := range cases {
+		if got := BandFromOverhead(c.oh); got != c.want {
+			t.Errorf("BandFromOverhead(%v) = %s, want %s", c.oh, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package shamir_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"securearchive/internal/shamir"
+)
+
+// Example shows the basic split/combine cycle: 3-of-5 sharing with
+// perfect secrecy below the threshold.
+func Example() {
+	secret := []byte("meet at the old oak at midnight")
+	shares, err := shamir.Split(secret, 5, 3, rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Any three shares reconstruct…
+	got, err := shamir.Combine([]shamir.Share{shares[4], shares[0], shares[2]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %s\n", got)
+	// …two do not (and, information-theoretically, cannot).
+	_, err = shamir.Combine(shares[:2])
+	fmt.Println("with two shares:", err != nil)
+	// Output:
+	// recovered: meet at the old oak at midnight
+	// with two shares: true
+}
+
+// ExampleCombineRobust demonstrates Berlekamp–Welch error correction:
+// a corrupted share is silently routed around, with no commitments.
+func ExampleCombineRobust() {
+	secret := []byte("tolerates lies, not just silence")
+	shares, err := shamir.Split(secret, 7, 3, rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A malicious provider rewrites its share entirely.
+	for i := range shares[2].Payload {
+		shares[2].Payload[i] ^= 0xA5
+	}
+	got, err := shamir.CombineRobust(shares, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %s\n", got)
+	// Output:
+	// recovered: tolerates lies, not just silence
+}

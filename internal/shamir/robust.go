@@ -1,0 +1,214 @@
+package shamir
+
+import (
+	"errors"
+	"fmt"
+
+	"securearchive/internal/gf256"
+)
+
+// ErrTooManyErrors is returned when robust reconstruction cannot find a
+// consistent codeword within the declared error budget.
+var ErrTooManyErrors = errors.New("shamir: too many corrupted shares")
+
+// CombineRobust reconstructs the secret even when up to maxErrors of the
+// provided shares are CORRUPTED (wrong payloads, not merely missing),
+// without any commitments or side information. This is the McEliece–
+// Sarwate observation (§3.2 of the paper) cashed in: Shamir shares are a
+// Reed-Solomon codeword, so Berlekamp–Welch decoding corrects e errors
+// whenever len(shares) ≥ t + 2e. POTSHARDS-class systems use exactly
+// this to survive malicious storage providers without verifiable
+// sharing.
+//
+// Decoding runs independently per byte position (a corrupted share may
+// be corrupted differently at every byte), so cost is
+// O(L · (t+2e)³) — acceptable for share-sized objects; systems with
+// commitments (vss) identify cheaters more cheaply.
+func CombineRobust(shares []Share, maxErrors int) ([]byte, error) {
+	if err := validate(shares); err != nil {
+		return nil, err
+	}
+	if maxErrors < 0 {
+		return nil, fmt.Errorf("%w: maxErrors=%d", ErrInvalidParams, maxErrors)
+	}
+	t := int(shares[0].Threshold)
+	n := len(shares)
+	if n < t+2*maxErrors {
+		return nil, fmt.Errorf("%w: correcting %d errors needs %d shares, have %d",
+			ErrTooFewShares, maxErrors, t+2*maxErrors, n)
+	}
+	L := len(shares[0].Payload)
+	xs := make([]byte, n)
+	for i, s := range shares {
+		xs[i] = s.X
+	}
+	out := make([]byte, L)
+	for pos := 0; pos < L; pos++ {
+		ys := make([]byte, n)
+		for i, s := range shares {
+			ys[i] = s.Payload[pos]
+		}
+		v, err := berlekampWelch(xs, ys, t, maxErrors)
+		if err != nil {
+			return nil, fmt.Errorf("byte %d: %w", pos, err)
+		}
+		out[pos] = v
+	}
+	return out, nil
+}
+
+// berlekampWelch decodes one RS symbol position: given n points (x, y) of
+// a degree-(t-1) polynomial f with up to e errors, return f(0). It tries
+// error counts e' = e, e-1, ..., 0 until a consistent decoding appears.
+func berlekampWelch(xs, ys []byte, t, e int) (byte, error) {
+	for try := e; try >= 0; try-- {
+		if v, ok := bwTry(xs, ys, t, try); ok {
+			return v, nil
+		}
+	}
+	return 0, ErrTooManyErrors
+}
+
+// bwTry attempts decoding with exactly e errors: solve for the monic
+// error locator E (degree e) and Q = f·E (degree < t+e) from
+// y_i·E(x_i) = Q(x_i), then check Q divisible by E and that the result
+// matches enough points.
+func bwTry(xs, ys []byte, t, e int) (byte, bool) {
+	n := len(xs)
+	qLen := t + e // unknown coefficients of Q: q_0..q_{t+e-1}
+	unknowns := qLen + e
+	if unknowns == 0 {
+		// e == 0 and t == 0 cannot happen (t >= 1); direct interpolation.
+		return 0, false
+	}
+	// Equations: Q(x_i) − y_i·(Σ_{j<e} E_j x_i^j) = y_i·x_i^e, i = 1..n.
+	rows := n
+	m := make([][]byte, rows)
+	for i := 0; i < rows; i++ {
+		row := make([]byte, unknowns+1)
+		xp := byte(1)
+		for j := 0; j < qLen; j++ {
+			row[j] = xp
+			xp = gf256.Mul(xp, xs[i])
+		}
+		xp = byte(1)
+		for j := 0; j < e; j++ {
+			row[qLen+j] = gf256.Mul(ys[i], xp)
+			xp = gf256.Mul(xp, xs[i])
+		}
+		// RHS: y_i · x_i^e. xp is now x_i^e.
+		row[unknowns] = gf256.Mul(ys[i], xp)
+		m[i] = row
+	}
+	sol, ok := solveGF256(m, unknowns)
+	if !ok {
+		return 0, false
+	}
+	q := sol[:qLen]
+	eloc := make([]byte, e+1)
+	copy(eloc, sol[qLen:])
+	eloc[e] = 1 // monic
+
+	// f = Q / E must divide exactly.
+	f, rem := polyDivGF256(q, eloc)
+	for _, r := range rem {
+		if r != 0 {
+			return 0, false
+		}
+	}
+	if len(f) > t {
+		return 0, false
+	}
+	// Verify: f must agree with at least n−e points.
+	agree := 0
+	for i := range xs {
+		if gf256.EvalPoly(f, xs[i]) == ys[i] {
+			agree++
+		}
+	}
+	if agree < len(xs)-e {
+		return 0, false
+	}
+	return gf256.EvalPoly(f, 0), true
+}
+
+// solveGF256 solves an augmented linear system (rows × (cols+1)) over
+// GF(256) by Gaussian elimination. Returns any solution (free variables
+// set to zero) or false when inconsistent.
+func solveGF256(m [][]byte, cols int) ([]byte, bool) {
+	rows := len(m)
+	pivotCol := make([]int, 0, cols)
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		p := -1
+		for i := r; i < rows; i++ {
+			if m[i][c] != 0 {
+				p = i
+				break
+			}
+		}
+		if p == -1 {
+			continue
+		}
+		m[r], m[p] = m[p], m[r]
+		inv := gf256.Inv(m[r][c])
+		for j := c; j <= cols; j++ {
+			m[r][j] = gf256.Mul(m[r][j], inv)
+		}
+		for i := 0; i < rows; i++ {
+			if i == r || m[i][c] == 0 {
+				continue
+			}
+			f := m[i][c]
+			for j := c; j <= cols; j++ {
+				m[i][j] ^= gf256.Mul(f, m[r][j])
+			}
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+	// Inconsistency: zero row with non-zero RHS.
+	for i := r; i < rows; i++ {
+		if m[i][cols] != 0 {
+			return nil, false
+		}
+	}
+	sol := make([]byte, cols)
+	for i, c := range pivotCol {
+		sol[c] = m[i][cols]
+	}
+	return sol, true
+}
+
+// polyDivGF256 divides polynomial a by b (both constant-first), returning
+// quotient and remainder. b must be non-zero with a non-zero leading
+// coefficient (the caller passes a monic divisor).
+func polyDivGF256(a, b []byte) (quot, rem []byte) {
+	// Trim b.
+	db := len(b) - 1
+	for db > 0 && b[db] == 0 {
+		db--
+	}
+	r := append([]byte(nil), a...)
+	da := len(r) - 1
+	for da > 0 && r[da] == 0 {
+		da--
+	}
+	r = r[:da+1]
+	if da < db {
+		return []byte{0}, r
+	}
+	quot = make([]byte, da-db+1)
+	inv := gf256.Inv(b[db])
+	for d := da; d >= db; d-- {
+		c := gf256.Mul(r[d], inv)
+		quot[d-db] = c
+		if c == 0 {
+			continue
+		}
+		for j := 0; j <= db; j++ {
+			r[d-db+j] ^= gf256.Mul(c, b[j])
+		}
+	}
+	return quot, r[:db]
+}

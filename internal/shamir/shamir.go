@@ -1,0 +1,235 @@
+// Package shamir implements Shamir's (t, n) threshold secret sharing over
+// GF(2^8) (Shamir, CACM 1979).
+//
+// A secret of L bytes is split into n shares of L bytes each such that any
+// t shares reconstruct the secret exactly, while any t-1 shares are
+// statistically independent of the secret: perfect, information-theoretic
+// secrecy (ε = 0 in Definition 2.1 of the paper). The construction is
+// byte-parallel: for each byte position, a fresh uniformly random
+// polynomial f of degree t-1 with f(0) = secret byte is sampled, and share
+// i holds f(x_i) for its evaluation point x_i ∈ {1..255}.
+//
+// Per McEliece & Sarwate (1981), this is exactly a non-systematic [n, t]
+// Reed-Solomon code applied to (secret, r_1, ..., r_{t-1}); the erasure
+// tolerance of the code is what gives shares their availability property.
+// The storage cost — every share as large as the secret — is the provably
+// unavoidable price of perfect secrecy that Figure 1 of the paper charts.
+//
+// Randomness is taken from an injected io.Reader so tests are
+// deterministic; production callers pass crypto/rand.Reader.
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"securearchive/internal/gf256"
+)
+
+// Errors returned by this package.
+var (
+	ErrInvalidParams    = errors.New("shamir: invalid parameters")
+	ErrEmptySecret      = errors.New("shamir: empty secret")
+	ErrTooFewShares     = errors.New("shamir: not enough shares to reconstruct")
+	ErrDuplicateShare   = errors.New("shamir: duplicate share index")
+	ErrInconsistent     = errors.New("shamir: shares are inconsistent")
+	ErrPayloadSize      = errors.New("shamir: share payloads have different sizes")
+	ErrInvalidShareX    = errors.New("shamir: share evaluation point must be non-zero")
+	ErrInvalidThreshold = errors.New("shamir: shares disagree on threshold")
+)
+
+// MaxShares is the maximum n: the non-zero points of GF(256).
+const MaxShares = 255
+
+// Share is one participant's piece of a split secret.
+type Share struct {
+	// X is the GF(256) evaluation point, in 1..255. Zero is reserved for
+	// the secret itself and is never a valid share point.
+	X byte
+	// Threshold is t, the number of shares needed for reconstruction.
+	// It is carried in every share so that reconstruction is self-
+	// describing; it is not secret.
+	Threshold byte
+	// Payload holds the share bytes, the same length as the secret.
+	Payload []byte
+}
+
+// Clone returns a deep copy of the share.
+func (s Share) Clone() Share {
+	p := make([]byte, len(s.Payload))
+	copy(p, s.Payload)
+	return Share{X: s.X, Threshold: s.Threshold, Payload: p}
+}
+
+// Split shares secret into n shares with reconstruction threshold t,
+// 1 <= t <= n <= MaxShares, reading randomness from rnd. Share i is
+// assigned evaluation point i+1.
+func Split(secret []byte, n, t int, rnd io.Reader) ([]Share, error) {
+	xs := make([]byte, n)
+	for i := range xs {
+		xs[i] = byte(i + 1)
+	}
+	return SplitAt(secret, xs, t, rnd)
+}
+
+// SplitAt is Split with caller-chosen distinct non-zero evaluation points,
+// one per share. It is used by the proactive and packed layers, which need
+// control over point assignment.
+func SplitAt(secret []byte, xs []byte, t int, rnd io.Reader) ([]Share, error) {
+	n := len(xs)
+	if t < 1 || t > n || n > MaxShares {
+		return nil, fmt.Errorf("%w: t=%d n=%d", ErrInvalidParams, t, n)
+	}
+	if len(secret) == 0 {
+		return nil, ErrEmptySecret
+	}
+	seen := make(map[byte]bool, n)
+	for _, x := range xs {
+		if x == 0 {
+			return nil, ErrInvalidShareX
+		}
+		if seen[x] {
+			return nil, fmt.Errorf("%w: x=%d", ErrDuplicateShare, x)
+		}
+		seen[x] = true
+	}
+
+	// Coefficient blocks: block 0 is the secret, blocks 1..t-1 are random.
+	L := len(secret)
+	coeffs := make([][]byte, t)
+	coeffs[0] = secret
+	for j := 1; j < t; j++ {
+		coeffs[j] = make([]byte, L)
+		if _, err := io.ReadFull(rnd, coeffs[j]); err != nil {
+			return nil, fmt.Errorf("shamir: reading randomness: %w", err)
+		}
+	}
+
+	shares := make([]Share, n)
+	for i, x := range xs {
+		payload := make([]byte, L)
+		// Horner over blocks: payload = ((c_{t-1}·x + c_{t-2})·x + ...)·x + c_0
+		copy(payload, coeffs[t-1])
+		for j := t - 2; j >= 0; j-- {
+			gf256.MulSliceAssign(x, payload, payload)
+			for k, c := range coeffs[j] {
+				payload[k] ^= c
+			}
+		}
+		shares[i] = Share{X: x, Threshold: byte(t), Payload: payload}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from at least t shares. Extra shares
+// beyond the threshold are used as a consistency check: if they do not lie
+// on the same degree-(t-1) polynomial, ErrInconsistent is returned. This
+// detects (but does not identify) corrupted shares; for identification use
+// the vss package.
+func Combine(shares []Share) ([]byte, error) {
+	if err := validate(shares); err != nil {
+		return nil, err
+	}
+	t := int(shares[0].Threshold)
+	secret := combineAt(shares[:t], 0)
+	// Consistency check with surplus shares: each extra share must match
+	// the polynomial interpolated from the first t.
+	for _, extra := range shares[t:] {
+		pred := combineAt(shares[:t], extra.X)
+		for i := range pred {
+			if pred[i] != extra.Payload[i] {
+				return nil, fmt.Errorf("%w: share x=%d off-polynomial at byte %d", ErrInconsistent, extra.X, i)
+			}
+		}
+	}
+	return secret, nil
+}
+
+// CombineAt evaluates the sharing polynomial at an arbitrary point x from
+// at least t shares. CombineAt(shares, 0) reconstructs the secret;
+// non-zero x yields the share that a participant with point x would hold,
+// which is what verifiable share redistribution needs.
+func CombineAt(shares []Share, x byte) ([]byte, error) {
+	if err := validate(shares); err != nil {
+		return nil, err
+	}
+	t := int(shares[0].Threshold)
+	return combineAt(shares[:t], x), nil
+}
+
+func combineAt(shares []Share, x byte) []byte {
+	xs := make([]byte, len(shares))
+	for i, s := range shares {
+		xs[i] = s.X
+	}
+	lc := gf256.LagrangeCoeffs(xs, x)
+	out := make([]byte, len(shares[0].Payload))
+	for i, s := range shares {
+		gf256.MulSlice(lc[i], s.Payload, out)
+	}
+	return out
+}
+
+func validate(shares []Share) error {
+	if len(shares) == 0 {
+		return ErrTooFewShares
+	}
+	t := shares[0].Threshold
+	if t == 0 {
+		return fmt.Errorf("%w: threshold 0", ErrInvalidParams)
+	}
+	if len(shares) < int(t) {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), t)
+	}
+	L := len(shares[0].Payload)
+	seen := make(map[byte]bool, len(shares))
+	for _, s := range shares {
+		if s.Threshold != t {
+			return ErrInvalidThreshold
+		}
+		if s.X == 0 {
+			return ErrInvalidShareX
+		}
+		if seen[s.X] {
+			return fmt.Errorf("%w: x=%d", ErrDuplicateShare, s.X)
+		}
+		seen[s.X] = true
+		if len(s.Payload) != L {
+			return ErrPayloadSize
+		}
+	}
+	if L == 0 {
+		return ErrEmptySecret
+	}
+	return nil
+}
+
+// Add returns the share-wise sum of two sharings with identical point sets
+// and thresholds. Because sharing is linear, the result is a valid sharing
+// of the sum (XOR) of the two secrets. This homomorphism is the engine of
+// proactive refresh: adding a sharing of zero re-randomises every share
+// without touching the secret.
+func Add(a, b []Share) ([]Share, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("%w: share count %d != %d", ErrInvalidParams, len(a), len(b))
+	}
+	out := make([]Share, len(a))
+	for i := range a {
+		if a[i].X != b[i].X {
+			return nil, fmt.Errorf("%w: x mismatch at %d (%d != %d)", ErrInvalidParams, i, a[i].X, b[i].X)
+		}
+		if a[i].Threshold != b[i].Threshold {
+			return nil, ErrInvalidThreshold
+		}
+		if len(a[i].Payload) != len(b[i].Payload) {
+			return nil, ErrPayloadSize
+		}
+		p := make([]byte, len(a[i].Payload))
+		for j := range p {
+			p[j] = a[i].Payload[j] ^ b[i].Payload[j]
+		}
+		out[i] = Share{X: a[i].X, Threshold: a[i].Threshold, Payload: p}
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+// Package systems implements a miniature but end-to-end version of every
+// archival system in the paper's Table 1, on the shared cluster substrate:
+//
+//	ArchiveSafeLT — cascade ciphers + erasure-coded dispersal
+//	AONT-RS       — all-or-nothing transform + erasure-coded dispersal
+//	HasDPSS       — proactively shared keys with a verifiable audit chain
+//	LINCOS        — secret sharing at rest, OTP/QKD in transit,
+//	                commitment-based timestamping
+//	PASIS         — configurable encoding (replication / EC / sharing)
+//	POTSHARDS     — plain Shamir across independent providers, no renewal
+//	VSR Archive   — Shamir plus verifiable share redistribution/renewal
+//	CloudAES      — the AWS/Azure/GCP baseline: AES-GCM + erasure coding
+//
+// Every system implements the same Archive interface: Store/Retrieve
+// against the cluster, a static security classification (Table 1's transit
+// and at-rest columns), and — the part that makes Table 1 *measured*
+// rather than asserted — a Breach method that plays the paper's adversary:
+// given the mobile adversary's harvest and the cryptanalytic break clock,
+// what does the attacker actually recover? Experiments E2 and E4 run on
+// these implementations.
+package systems
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"securearchive/internal/adversary"
+	"securearchive/internal/cluster"
+	"securearchive/internal/sec"
+	"securearchive/internal/shamir"
+)
+
+// Errors returned across systems.
+var (
+	ErrTooFewNodes  = errors.New("systems: cluster too small for this system")
+	ErrUnknownRef   = errors.New("systems: unknown object reference")
+	ErrRetrieval    = errors.New("systems: could not retrieve enough shards")
+	ErrNotSupported = errors.New("systems: operation not supported by this system")
+)
+
+// Ref identifies a stored object.
+type Ref struct {
+	System   string
+	Object   string
+	PlainLen int
+}
+
+// BreachResult reports what an attacker extracted from its harvest.
+type BreachResult struct {
+	// Violated is true when ANY confidentiality was lost.
+	Violated bool
+	// Full is true when the complete plaintext was recovered.
+	Full bool
+	// Recovered holds recovered plaintext when Full.
+	Recovered []byte
+	// Reason explains the outcome for reports.
+	Reason string
+}
+
+// Archive is the interface every Table 1 system implements.
+type Archive interface {
+	// Name returns the Table 1 row label.
+	Name() string
+	// Store archives data under the given object ID.
+	Store(object string, data []byte, rnd io.Reader) (*Ref, error)
+	// Retrieve reads an object back (exercising availability).
+	Retrieve(ref *Ref) ([]byte, error)
+	// Renew refreshes at-rest material where the design supports it
+	// (share renewal, layer wrapping); ErrNotSupported otherwise.
+	Renew(ref *Ref, rnd io.Reader) error
+	// Classify returns the system's Table 1 classification. Measured
+	// storage cost is filled in by the caller from cluster accounting.
+	Classify() sec.Profile
+	// Breach plays the adversary: given the harvest and break clock at
+	// the given epoch, attempt to violate the object's confidentiality.
+	Breach(adv *adversary.Mobile, ref *Ref, breaks adversary.Breaks, epoch int) BreachResult
+}
+
+// StorageCost measures bytes-at-rest per plaintext byte for a stored ref.
+func StorageCost(c *cluster.Cluster, ref *Ref) float64 {
+	if ref.PlainLen == 0 {
+		return 0
+	}
+	return float64(c.ObjectBytes(ref.Object)) / float64(ref.PlainLen)
+}
+
+// --- shared shard-placement helpers ---
+
+// putShards writes shards round-robin, shard i to node i (the paper's
+// one-shard-per-independent-provider placement).
+func putShards(c *cluster.Cluster, object string, shards [][]byte) error {
+	if len(shards) > c.Size() {
+		return fmt.Errorf("%w: %d shards for %d nodes", ErrTooFewNodes, len(shards), c.Size())
+	}
+	for i, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		if err := c.Put(i, cluster.ShardKey{Object: object, Index: i}, sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// getShards fetches up to want shards (nil for unavailable ones), indexed
+// by shard number, total slots.
+func getShards(c *cluster.Cluster, object string, total int) [][]byte {
+	out := make([][]byte, total)
+	for i := 0; i < total; i++ {
+		sh, err := c.Get(i, cluster.ShardKey{Object: object, Index: i})
+		if err != nil {
+			continue
+		}
+		out[i] = sh.Data
+	}
+	return out
+}
+
+// harvestedShamir assembles shamir.Shares from the adversary's harvest of
+// one object: sameEpoch selects whether only shards written in a single
+// epoch may be combined (renewing systems) or any epochs mix (static
+// systems). Returns the largest usable share set.
+func harvestedShamir(adv *adversary.Mobile, object string, threshold int, sameEpoch bool) []shamir.Share {
+	if sameEpoch {
+		best := []shamir.Share(nil)
+		for _, byIdx := range adv.DistinctShards(object) {
+			if len(byIdx) < len(best) || len(byIdx) == 0 {
+				continue
+			}
+			cur := make([]shamir.Share, 0, len(byIdx))
+			for idx, data := range byIdx {
+				cur = append(cur, shamir.Share{X: byte(idx + 1), Threshold: byte(threshold), Payload: data})
+			}
+			if len(cur) > len(best) {
+				best = cur
+			}
+		}
+		return best
+	}
+	// Any epoch: latest version of each index.
+	latest := make(map[int]cluster.Shard)
+	for _, h := range adv.Harvest(object) {
+		prev, ok := latest[h.Shard.Key.Index]
+		if !ok || h.Shard.Epoch > prev.Epoch {
+			latest[h.Shard.Key.Index] = h.Shard
+		}
+	}
+	out := make([]shamir.Share, 0, len(latest))
+	for idx, sh := range latest {
+		out = append(out, shamir.Share{X: byte(idx + 1), Threshold: byte(threshold), Payload: sh.Data})
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package systems
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"securearchive/internal/adversary"
+	"securearchive/internal/cluster"
+	"securearchive/internal/sec"
+	"securearchive/internal/shamir"
+)
+
+// VSRArchive models Wong, Wang & Wing's verifiable secret redistribution
+// archive: Shamir sharing at rest plus a renewal protocol that
+// re-randomises every share, with commitments that let holders verify
+// what they receive. Against the mobile adversary the renewal is the
+// entire defence: shares harvested in different epochs lie on different
+// polynomials and cannot be combined — which Breach demonstrates by
+// insisting on same-epoch shards. The cost, per §3.2, is all-to-all
+// renewal traffic, metered in RenewTraffic.
+type VSRArchive struct {
+	Cluster *cluster.Cluster
+	N, T    int
+	// RenewTraffic accumulates bytes a real deployment would move during
+	// renewals (zero-share dealings + commitment broadcasts).
+	RenewTraffic int64
+	// commitments[object][i] is the hash commitment to node i's current
+	// share, refreshed at each renewal — the "verifiable" part.
+	commitments map[string][][sha256.Size]byte
+}
+
+// NewVSRArchive builds the system with a (t, n) sharing.
+func NewVSRArchive(c *cluster.Cluster, n, t int) (*VSRArchive, error) {
+	if n > c.Size() {
+		return nil, fmt.Errorf("%w: need %d nodes", ErrTooFewNodes, n)
+	}
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("systems: invalid threshold %d of %d", t, n)
+	}
+	return &VSRArchive{Cluster: c, N: n, T: t, commitments: make(map[string][][sha256.Size]byte)}, nil
+}
+
+// Name implements Archive.
+func (s *VSRArchive) Name() string { return "VSR Archive" }
+
+// Store implements Archive.
+func (s *VSRArchive) Store(object string, data []byte, rnd io.Reader) (*Ref, error) {
+	shares, err := shamir.Split(data, s.N, s.T, rnd)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([][]byte, s.N)
+	comms := make([][sha256.Size]byte, s.N)
+	for i, sh := range shares {
+		shards[i] = sh.Payload
+		comms[i] = sha256.Sum256(sh.Payload)
+	}
+	if err := putShards(s.Cluster, object, shards); err != nil {
+		return nil, err
+	}
+	s.commitments[object] = comms
+	return &Ref{System: s.Name(), Object: object, PlainLen: len(data)}, nil
+}
+
+// Retrieve implements Archive, verifying each fetched share against its
+// commitment before combining — a corrupt provider is identified.
+func (s *VSRArchive) Retrieve(ref *Ref) ([]byte, error) {
+	comms, ok := s.commitments[ref.Object]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRef, ref.Object)
+	}
+	shards := getShards(s.Cluster, ref.Object, s.N)
+	shares := make([]shamir.Share, 0, s.T)
+	for i, data := range shards {
+		if data == nil {
+			continue
+		}
+		if sha256.Sum256(data) != comms[i] {
+			continue // provider returned garbage; skip it
+		}
+		shares = append(shares, shamir.Share{X: byte(i + 1), Threshold: byte(s.T), Payload: data})
+		if len(shares) == s.T {
+			break
+		}
+	}
+	if len(shares) < s.T {
+		return nil, fmt.Errorf("%w: %d/%d verified shares", ErrRetrieval, len(shares), s.T)
+	}
+	out, err := shamir.Combine(shares)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRetrieval, err)
+	}
+	return out, nil
+}
+
+// Renew implements Archive: a Herzberg zero-sharing refresh executed
+// against the stored shards — no reconstruction, no plaintext exposure.
+// Every node's share is re-randomised and its commitment republished;
+// the cluster epoch-stamps the rewritten shards, which is what defeats
+// cross-epoch harvest mixing.
+func (s *VSRArchive) Renew(ref *Ref, rnd io.Reader) error {
+	comms, ok := s.commitments[ref.Object]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRef, ref.Object)
+	}
+	zero := make([]byte, ref.PlainLen)
+	deal, err := shamir.Split(zero, s.N, s.T, rnd)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.N; i++ {
+		key := cluster.ShardKey{Object: ref.Object, Index: i}
+		sh, err := s.Cluster.Get(i, key)
+		if err != nil {
+			return fmt.Errorf("systems: renewal fetch node %d: %w", i, err)
+		}
+		for k := range sh.Data {
+			sh.Data[k] ^= deal[i].Payload[k]
+		}
+		if err := s.Cluster.Put(i, key, sh.Data); err != nil {
+			return err
+		}
+		comms[i] = sha256.Sum256(sh.Data)
+		s.RenewTraffic += int64(len(sh.Data)) + sha256.Size
+	}
+	// All-to-all dealing traffic of a real (non-simulated) execution.
+	s.RenewTraffic += int64(s.N*(s.N-1)) * int64(ref.PlainLen)
+	return nil
+}
+
+// Repair rebuilds a lost or corrupted provider's share from t healthy
+// providers and re-publishes its commitment. (The deployed protocol
+// blinds the helpers' contributions — see pss.RecoverShare for the
+// blinded variant; at the system layer the observable effect is
+// identical: the provider ends up with a share consistent with the
+// current polynomial.)
+func (s *VSRArchive) Repair(ref *Ref, lost int, rnd io.Reader) error {
+	comms, ok := s.commitments[ref.Object]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRef, ref.Object)
+	}
+	if lost < 0 || lost >= s.N {
+		return fmt.Errorf("systems: no provider %d", lost)
+	}
+	helpers := make([]shamir.Share, 0, s.T)
+	for i := 0; i < s.N && len(helpers) < s.T; i++ {
+		if i == lost {
+			continue
+		}
+		sh, err := s.Cluster.Get(i, cluster.ShardKey{Object: ref.Object, Index: i})
+		if err != nil {
+			continue
+		}
+		if sha256.Sum256(sh.Data) != comms[i] {
+			continue
+		}
+		helpers = append(helpers, shamir.Share{X: byte(i + 1), Threshold: byte(s.T), Payload: sh.Data})
+	}
+	if len(helpers) < s.T {
+		return fmt.Errorf("%w: %d/%d verified helpers", ErrRetrieval, len(helpers), s.T)
+	}
+	payload, err := shamir.CombineAt(helpers, byte(lost+1))
+	if err != nil {
+		return fmt.Errorf("systems: repair interpolation: %w", err)
+	}
+	if err := s.Cluster.Put(lost, cluster.ShardKey{Object: ref.Object, Index: lost}, payload); err != nil {
+		return err
+	}
+	comms[lost] = sha256.Sum256(payload)
+	s.RenewTraffic += int64(s.T*(ref.PlainLen+2) + ref.PlainLen)
+	return nil
+}
+
+// Classify implements Archive.
+func (s *VSRArchive) Classify() sec.Profile {
+	return sec.Profile{
+		System:       s.Name(),
+		TransitClass: sec.Computational,
+		RestClass:    sec.IT,
+	}
+}
+
+// Breach implements Archive: only same-write-epoch shares combine.
+func (s *VSRArchive) Breach(adv *adversary.Mobile, ref *Ref, breaks adversary.Breaks, epoch int) BreachResult {
+	shares := harvestedShamir(adv, ref.Object, s.T, true)
+	if len(shares) < s.T {
+		return BreachResult{Reason: fmt.Sprintf("best same-epoch haul is %d/%d shares", len(shares), s.T)}
+	}
+	pt, err := shamir.Combine(shares[:s.T])
+	if err != nil {
+		return BreachResult{Violated: true, Reason: "threshold met but shares inconsistent"}
+	}
+	return BreachResult{Violated: true, Full: true, Recovered: pt,
+		Reason: "adversary out-raced the renewal period"}
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := NewGenerator(ArchivalMix(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(ArchivalMix(), 7)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, a, b)
+		}
+	}
+	g3, _ := NewGenerator(ArchivalMix(), 8)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if g3.Next().Size != g2.Next().Size {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestMixtureProportions(t *testing.T) {
+	g, _ := NewGenerator(ArchivalMix(), 3)
+	tr := g.Batch(10000)
+	// small ≈ 55%, medium ≈ 35%, large ≈ 10%, loose bounds.
+	if f := float64(tr.ByClass["small"]) / 10000; f < 0.50 || f > 0.60 {
+		t.Fatalf("small fraction %.3f", f)
+	}
+	if f := float64(tr.ByClass["large"]) / 10000; f < 0.07 || f > 0.13 {
+		t.Fatalf("large fraction %.3f", f)
+	}
+}
+
+func TestBytesDominatedByLargeClass(t *testing.T) {
+	g, _ := NewGenerator(ArchivalMix(), 5)
+	tr := g.Batch(5000)
+	var largeBytes int64
+	for _, o := range tr.Objects {
+		if o.Class == "large" {
+			largeBytes += o.Size
+		}
+	}
+	// The archival signature: ~10% of objects carry most of the bytes.
+	if f := float64(largeBytes) / float64(tr.TotalBytes); f < 0.5 {
+		t.Fatalf("large objects carry only %.2f of bytes", f)
+	}
+}
+
+func TestSizesClamped(t *testing.T) {
+	g, _ := NewGenerator(ArchivalMix(), 11)
+	g.MinSize = 1024
+	g.MaxSize = 1 << 20
+	for i := 0; i < 1000; i++ {
+		o := g.Next()
+		if o.Size < 1024 || o.Size > 1<<20 {
+			t.Fatalf("size %d outside clamp", o.Size)
+		}
+	}
+}
+
+func TestPayloadDeterministicAndCapped(t *testing.T) {
+	g, _ := NewGenerator(ArchivalMix(), 13)
+	o := g.Next()
+	p1 := g.Payload(o, 4096)
+	p2 := g.Payload(o, 4096)
+	if !bytes.Equal(p1, p2) {
+		t.Fatal("payload not deterministic")
+	}
+	if len(p1) > 4096 {
+		t.Fatal("payload exceeds cap")
+	}
+	o2 := g.Next()
+	if bytes.Equal(g.Payload(o2, 4096)[:64], p1[:64]) {
+		t.Fatal("different objects share payloads")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewGenerator(nil, 1); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("no classes: %v", err)
+	}
+	if _, err := NewGenerator([]SizeClass{{Weight: 0, MedianBytes: 1, Sigma: 1}}, 1); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("zero weight: %v", err)
+	}
+	g, _ := NewGenerator(ArchivalMix(), 1)
+	if _, err := g.RecallPattern(0, 0.5); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("bad recall params: %v", err)
+	}
+	if _, err := g.RecallPattern(10, 0); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("zero frac: %v", err)
+	}
+}
+
+func TestRecallPattern(t *testing.T) {
+	g, _ := NewGenerator(ArchivalMix(), 17)
+	idx, err := g.RecallPattern(100, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 25 {
+		t.Fatalf("recall size %d, want 25", len(idx))
+	}
+	// Contiguous modulo wrap.
+	for i := 1; i < len(idx); i++ {
+		if idx[i] != (idx[i-1]+1)%100 {
+			t.Fatal("recall not contiguous")
+		}
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	g, _ := NewGenerator(ArchivalMix(), 19)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		o := g.Next()
+		if seen[o.ID] {
+			t.Fatalf("duplicate ID %s", o.ID)
+		}
+		seen[o.ID] = true
+	}
+}
