@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	papereval [-figure1] [-table1] [-reencrypt] [-renewal] [-advantage] [-all]
+//	papereval [-figure1] [-table1] [-reencrypt] [-renewal] [-advantage] [-kernels] [-all]
+//
+// -kernels measures the GF(256) kernel and Reed-Solomon pipeline
+// throughput on the local machine and re-derives the §3.2 campaign
+// arithmetic from it, writing the results to -bench-out.
 package main
 
 import (
@@ -32,11 +36,13 @@ func main() {
 	reencrypt := flag.Bool("reencrypt", false, "regenerate the §3.2 re-encryption table")
 	renewal := flag.Bool("renewal", false, "price proactive renewal campaigns (§3.2)")
 	adv := flag.Bool("advantage", false, "measure Definition 2.1/2.2 distinguishing advantages")
+	kernels := flag.Bool("kernels", false, "measure GF(256)/RS kernel throughput and re-derive §3.2 from it")
+	benchOut := flag.String("bench-out", "BENCH_kernels.json", "output path for -kernels results")
 	all := flag.Bool("all", false, "run everything")
 	objKiB := flag.Int("obj", 256, "object size in KiB for measurements")
 	flag.Parse()
 
-	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv {
+	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels {
 		*all = true
 	}
 	ran := false
@@ -58,6 +64,10 @@ func main() {
 	}
 	if *all || *adv {
 		runAdvantage()
+		ran = true
+	}
+	if *kernels {
+		runKernels(*benchOut)
 		ran = true
 	}
 	if !ran {

@@ -165,12 +165,13 @@ type Scheme struct {
 	Code *rs.Code
 }
 
-// NewScheme builds an AONT-RS scheme with k-of-n dispersal.
-func NewScheme(k, n int) (*Scheme, error) {
+// NewScheme builds an AONT-RS scheme with k-of-n dispersal. Options
+// (e.g. rs.WithParallelism) are forwarded to the underlying code.
+func NewScheme(k, n int, opts ...rs.Option) (*Scheme, error) {
 	if k < 1 || n < k {
 		return nil, fmt.Errorf("%w: k=%d n=%d", ErrInvalidCode, k, n)
 	}
-	code, err := rs.New(k, n-k)
+	code, err := rs.New(k, n-k, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidCode, err)
 	}

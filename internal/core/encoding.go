@@ -88,6 +88,14 @@ type Encoding interface {
 	Decode(enc *Encoded) ([]byte, error)
 }
 
+// Parallelizable is implemented by encodings whose hot paths can fan out
+// across goroutines. WithParallelism returns a copy of the encoding whose
+// Encode/Decode use at most n workers; n <= 0 selects GOMAXPROCS and 1
+// forces the serial path. Replication is pure copying and not covered.
+type Parallelizable interface {
+	WithParallelism(n int) Encoding
+}
+
 // --- replication ---
 
 // Replication stores n plaintext copies: Figure 1's top-left — maximal
@@ -135,7 +143,14 @@ func (r Replication) Decode(enc *Encoded) ([]byte, error) {
 
 // Erasure is k-of-n Reed-Solomon: Figure 1's bottom-left — low cost, no
 // confidentiality (systematic shards are plaintext fragments).
-type Erasure struct{ K, N int }
+type Erasure struct {
+	K, N int
+	// Par bounds encode/decode goroutines; see Parallelizable.
+	Par int
+}
+
+// WithParallelism implements Parallelizable.
+func (e Erasure) WithParallelism(n int) Encoding { e.Par = n; return e }
 
 // Name implements Encoding.
 func (e Erasure) Name() string { return "Erasure Coding" }
@@ -151,7 +166,7 @@ func (e Erasure) Shards() (int, int) { return e.N, e.K }
 
 // Encode implements Encoding.
 func (e Erasure) Encode(data []byte, _ io.Reader) (*Encoded, error) {
-	code, err := rs.New(e.K, e.N-e.K)
+	code, err := rs.New(e.K, e.N-e.K, rs.WithParallelism(e.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -164,7 +179,7 @@ func (e Erasure) Encode(data []byte, _ io.Reader) (*Encoded, error) {
 
 // Decode implements Encoding.
 func (e Erasure) Decode(enc *Encoded) ([]byte, error) {
-	code, err := rs.New(e.K, e.N-e.K)
+	code, err := rs.New(e.K, e.N-e.K, rs.WithParallelism(e.Par))
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +194,14 @@ func (e Erasure) Decode(enc *Encoded) ([]byte, error) {
 
 // TraditionalEncryption is AES-256-CTR over erasure-coded placement:
 // Figure 1's "Traditional Encryption" — low cost, computational security.
-type TraditionalEncryption struct{ K, N int }
+type TraditionalEncryption struct {
+	K, N int
+	// Par bounds encode/decode goroutines; see Parallelizable.
+	Par int
+}
+
+// WithParallelism implements Parallelizable.
+func (t TraditionalEncryption) WithParallelism(n int) Encoding { t.Par = n; return t }
 
 // Name implements Encoding.
 func (t TraditionalEncryption) Name() string { return "Traditional Encryption" }
@@ -203,7 +225,7 @@ func (t TraditionalEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, err
 	if err != nil {
 		return nil, err
 	}
-	code, err := rs.New(t.K, t.N-t.K)
+	code, err := rs.New(t.K, t.N-t.K, rs.WithParallelism(t.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -222,7 +244,7 @@ func (t TraditionalEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, err
 
 // Decode implements Encoding.
 func (t TraditionalEncryption) Decode(enc *Encoded) ([]byte, error) {
-	code, err := rs.New(t.K, t.N-t.K)
+	code, err := rs.New(t.K, t.N-t.K, rs.WithParallelism(t.Par))
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +269,14 @@ func (t TraditionalEncryption) Decode(enc *Encoded) ([]byte, error) {
 // CascadeEncryption layers all registered cipher families over EC
 // placement: ArchiveSafeLT's encoding as a Figure 1 point. Same cost band
 // as traditional encryption, hedged against single-family breaks.
-type CascadeEncryption struct{ K, N int }
+type CascadeEncryption struct {
+	K, N int
+	// Par bounds encode/decode goroutines; see Parallelizable.
+	Par int
+}
+
+// WithParallelism implements Parallelizable.
+func (c CascadeEncryption) WithParallelism(n int) Encoding { c.Par = n; return c }
 
 // Name implements Encoding.
 func (c CascadeEncryption) Name() string { return "Cascade Encryption" }
@@ -271,7 +300,7 @@ func (c CascadeEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error) 
 	if err != nil {
 		return nil, err
 	}
-	code, err := rs.New(c.K, c.N-c.K)
+	code, err := rs.New(c.K, c.N-c.K, rs.WithParallelism(c.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -294,7 +323,7 @@ func (c CascadeEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error) 
 
 // Decode implements Encoding.
 func (c CascadeEncryption) Decode(enc *Encoded) ([]byte, error) {
-	code, err := rs.New(c.K, c.N-c.K)
+	code, err := rs.New(c.K, c.N-c.K, rs.WithParallelism(c.Par))
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +377,12 @@ type EntropicEncryption struct {
 	// AssumedEntropyBits is the min-entropy the policy asserts for the
 	// data; the key length follows the Dodis–Smith bound from it.
 	AssumedEntropyBits int
+	// Par bounds encode/decode goroutines; see Parallelizable.
+	Par int
 }
+
+// WithParallelism implements Parallelizable.
+func (e EntropicEncryption) WithParallelism(n int) Encoding { e.Par = n; return e }
 
 // Name implements Encoding.
 func (e EntropicEncryption) Name() string { return "Entropically Secure Encryption" }
@@ -376,7 +410,7 @@ func (e EntropicEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error)
 	if err != nil {
 		return nil, err
 	}
-	code, err := rs.New(e.K, e.N-e.K)
+	code, err := rs.New(e.K, e.N-e.K, rs.WithParallelism(e.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -394,7 +428,7 @@ func (e EntropicEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error)
 
 // Decode implements Encoding.
 func (e EntropicEncryption) Decode(enc *Encoded) ([]byte, error) {
-	code, err := rs.New(e.K, e.N-e.K)
+	code, err := rs.New(e.K, e.N-e.K, rs.WithParallelism(e.Par))
 	if err != nil {
 		return nil, err
 	}
@@ -414,7 +448,14 @@ func (e EntropicEncryption) Decode(enc *Encoded) ([]byte, error) {
 // --- AONT-RS ---
 
 // AONTRS is the Resch–Plank encoding as a Figure 1 point.
-type AONTRS struct{ K, N int }
+type AONTRS struct {
+	K, N int
+	// Par bounds encode/decode goroutines; see Parallelizable.
+	Par int
+}
+
+// WithParallelism implements Parallelizable.
+func (a AONTRS) WithParallelism(n int) Encoding { a.Par = n; return a }
 
 // Name implements Encoding.
 func (a AONTRS) Name() string { return "AONT-RS" }
@@ -430,7 +471,7 @@ func (a AONTRS) Shards() (int, int) { return a.N, a.K }
 
 // Encode implements Encoding.
 func (a AONTRS) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
-	sch, err := aont.NewScheme(a.K, a.N)
+	sch, err := aont.NewScheme(a.K, a.N, rs.WithParallelism(a.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -444,7 +485,7 @@ func (a AONTRS) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
 
 // Decode implements Encoding.
 func (a AONTRS) Decode(enc *Encoded) ([]byte, error) {
-	sch, err := aont.NewScheme(a.K, a.N)
+	sch, err := aont.NewScheme(a.K, a.N, rs.WithParallelism(a.Par))
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +504,14 @@ func (a AONTRS) Decode(enc *Encoded) ([]byte, error) {
 // --- secret sharing ---
 
 // SecretSharing is (t, n) Shamir: Figure 1's top-right ITS point.
-type SecretSharing struct{ T, N int }
+type SecretSharing struct {
+	T, N int
+	// Par bounds encode/decode goroutines; see Parallelizable.
+	Par int
+}
+
+// WithParallelism implements Parallelizable.
+func (s SecretSharing) WithParallelism(n int) Encoding { s.Par = n; return s }
 
 // Name implements Encoding.
 func (s SecretSharing) Name() string { return "Secret Sharing" }
@@ -479,7 +527,7 @@ func (s SecretSharing) Shards() (int, int) { return s.N, s.T }
 
 // Encode implements Encoding.
 func (s SecretSharing) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
-	shares, err := shamir.Split(data, s.N, s.T, rnd)
+	shares, err := shamir.Split(data, s.N, s.T, rnd, shamir.WithParallelism(s.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -502,7 +550,7 @@ func (s SecretSharing) Decode(enc *Encoded) ([]byte, error) {
 			break
 		}
 	}
-	out, err := shamir.Combine(shares)
+	out, err := shamir.Combine(shares, shamir.WithParallelism(s.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrDecodeFailed, err)
 	}
@@ -513,7 +561,14 @@ func (s SecretSharing) Decode(enc *Encoded) ([]byte, error) {
 
 // PackedSharing is Franklin–Yung packed sharing: ITS at ~n/k cost, the
 // paper's candidate for the "smiley face" corner.
-type PackedSharing struct{ T, K, N int }
+type PackedSharing struct {
+	T, K, N int
+	// Par bounds encode/decode goroutines; see Parallelizable.
+	Par int
+}
+
+// WithParallelism implements Parallelizable.
+func (p PackedSharing) WithParallelism(n int) Encoding { p.Par = n; return p }
 
 // Name implements Encoding.
 func (p PackedSharing) Name() string { return "Packed Secret Sharing" }
@@ -529,7 +584,7 @@ func (p PackedSharing) Shards() (int, int) { return p.N, p.T + p.K }
 
 // Encode implements Encoding.
 func (p PackedSharing) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
-	shares, err := packed.Split(data, packed.Params{N: p.N, T: p.T, K: p.K}, rnd)
+	shares, err := packed.Split(data, packed.Params{N: p.N, T: p.T, K: p.K}, rnd, packed.WithParallelism(p.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -559,7 +614,7 @@ func (p PackedSharing) Decode(enc *Encoded) ([]byte, error) {
 			break
 		}
 	}
-	out, err := packed.Combine(shares)
+	out, err := packed.Combine(shares, packed.WithParallelism(p.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrDecodeFailed, err)
 	}
@@ -570,7 +625,14 @@ func (p PackedSharing) Decode(enc *Encoded) ([]byte, error) {
 
 // LRSS is the extractor-wrapped sharing: Figure 1's top-right-most point —
 // ITS plus local-leakage resilience, at the highest storage cost.
-type LRSS struct{ T, N int }
+type LRSS struct {
+	T, N int
+	// Par bounds encode/decode goroutines; see Parallelizable.
+	Par int
+}
+
+// WithParallelism implements Parallelizable.
+func (l LRSS) WithParallelism(n int) Encoding { l.Par = n; return l }
 
 // Name implements Encoding.
 func (l LRSS) Name() string { return "Leakage-Resilient Secret Sharing" }
@@ -586,7 +648,7 @@ func (l LRSS) Shards() (int, int) { return l.N, l.T }
 
 // lrssParams are the scheme parameters used by this encoding.
 func (l LRSS) lrssParams() lrss.Params {
-	return lrss.Params{N: l.N, T: l.T, SourceLen: lrss.DefaultSourceLen}
+	return lrss.Params{N: l.N, T: l.T, SourceLen: lrss.DefaultSourceLen, Par: l.Par}
 }
 
 // Encode implements Encoding. Each shard serialises the party's full LRSS
@@ -619,7 +681,7 @@ func (l LRSS) Decode(enc *Encoded) ([]byte, error) {
 			break
 		}
 	}
-	out, err := lrss.Combine(shares)
+	out, err := lrss.Combine(shares, lrss.WithParallelism(l.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrDecodeFailed, err)
 	}

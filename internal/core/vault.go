@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"securearchive/internal/cluster"
 	"securearchive/internal/group"
@@ -15,6 +16,11 @@ import (
 // Vault is the framework's user-facing archive: an Encoding composed with
 // cluster dispersal, per-object integrity chains, and renewal. It is what
 // the examples and the archivectl CLI drive.
+//
+// A Vault is safe for concurrent use. Put encodes outside the lock so
+// that several objects can be encoded at once (each encode may itself fan
+// out across goroutines; see WithParallelism); Gets run concurrently
+// under a read lock.
 type Vault struct {
 	Cluster  *cluster.Cluster
 	Encoding Encoding
@@ -24,6 +30,10 @@ type Vault struct {
 	Group         *group.Group
 	rnd           io.Reader
 
+	// mu guards objects and the read-modify-write sequences on the
+	// per-object state. The CPU-heavy encode/decode work runs outside
+	// (Put) or under the read side (Get) of the lock.
+	mu      sync.RWMutex
 	objects map[string]*vaultObject
 }
 
@@ -56,6 +66,18 @@ func WithRand(r io.Reader) VaultOption {
 	return func(v *Vault) { v.rnd = r }
 }
 
+// WithParallelism bounds the goroutines each encode/decode may use, when
+// the vault's encoding supports it (implements Parallelizable). n <= 0
+// selects GOMAXPROCS; 1 forces serial encodes. Encodings that do not
+// implement Parallelizable are left unchanged.
+func WithParallelism(n int) VaultOption {
+	return func(v *Vault) {
+		if p, ok := v.Encoding.(Parallelizable); ok {
+			v.Encoding = p.WithParallelism(n)
+		}
+	}
+}
+
 // NewVault builds a vault over the cluster with the encoding. The cluster
 // must have at least as many nodes as the encoding has shards.
 func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, error) {
@@ -80,12 +102,29 @@ func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, er
 // Put archives data under id: encode, disperse one shard per node, and
 // open an integrity chain.
 func (v *Vault) Put(id string, data []byte) error {
-	if _, ok := v.objects[id]; ok {
+	// Cheap early check; racing Puts of the same id are caught again under
+	// the write lock below.
+	v.mu.RLock()
+	_, exists := v.objects[id]
+	v.mu.RUnlock()
+	if exists {
 		return fmt.Errorf("%w: %s", ErrExists, id)
 	}
+	// The CPU-heavy work — encoding and chain construction — runs outside
+	// the lock so that concurrent Puts of different objects overlap.
 	enc, err := v.Encoding.Encode(data, v.rnd)
 	if err != nil {
 		return err
+	}
+	chain, err := tstamp.New(data, v.IntegrityMode, sig.Ed25519, v.Cluster.Epoch(), v.Group, v.rnd)
+	if err != nil {
+		return err
+	}
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.objects[id]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, id)
 	}
 	for i, sh := range enc.Shards {
 		if sh == nil {
@@ -94,10 +133,6 @@ func (v *Vault) Put(id string, data []byte) error {
 		if err := v.Cluster.Put(i, cluster.ShardKey{Object: id, Index: i}, sh); err != nil {
 			return err
 		}
-	}
-	chain, err := tstamp.New(data, v.IntegrityMode, sig.Ed25519, v.Cluster.Epoch(), v.Group, v.rnd)
-	if err != nil {
-		return err
 	}
 	// The vault keeps client-side secrets and the chain; shards live on
 	// nodes only.
@@ -115,6 +150,13 @@ func (v *Vault) Put(id string, data []byte) error {
 
 // Get retrieves and integrity-checks an object.
 func (v *Vault) Get(id string) ([]byte, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.getLocked(id)
+}
+
+// getLocked is Get's body; callers hold v.mu (read or write).
+func (v *Vault) getLocked(id string) ([]byte, error) {
 	obj, ok := v.objects[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -148,6 +190,8 @@ func (v *Vault) Get(id string) ([]byte, error) {
 // RenewIntegrity appends a fresh signature (rotating schemes) to the
 // object's timestamp chain.
 func (v *Vault) RenewIntegrity(id string, scheme sig.Scheme) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	obj, ok := v.objects[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -157,9 +201,13 @@ func (v *Vault) RenewIntegrity(id string, scheme sig.Scheme) error {
 
 // RenewShares re-encodes the object with fresh randomness and rewrites
 // every shard — the generic renewal that works for any encoding (at full
-// re-encode cost; sharing-specific systems do better, see pss).
+// re-encode cost; sharing-specific systems do better, see pss). The whole
+// read-reencode-rewrite sequence holds the write lock: a concurrent Get
+// must never observe a half-rewritten shard set.
 func (v *Vault) RenewShares(id string) error {
-	data, err := v.Get(id)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	data, err := v.getLocked(id)
 	if err != nil {
 		return err
 	}
@@ -187,6 +235,8 @@ func (v *Vault) RenewShares(id string) error {
 // this process. In commitment mode the export contains no digest of the
 // data — it is safe to publish.
 func (v *Vault) ExportEvidence(id string) ([]byte, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	obj, ok := v.objects[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -196,6 +246,8 @@ func (v *Vault) ExportEvidence(id string) ([]byte, error) {
 
 // Chain exposes an object's timestamp chain.
 func (v *Vault) Chain(id string) *tstamp.Chain {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	if obj, ok := v.objects[id]; ok {
 		return obj.chain
 	}
@@ -204,6 +256,8 @@ func (v *Vault) Chain(id string) *tstamp.Chain {
 
 // StorageCost measures the object's at-rest overhead from the cluster.
 func (v *Vault) StorageCost(id string) float64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	obj, ok := v.objects[id]
 	if !ok || obj.enc.PlainLen == 0 {
 		return 0
@@ -213,6 +267,8 @@ func (v *Vault) StorageCost(id string) float64 {
 
 // Objects lists stored object ids (unordered).
 func (v *Vault) Objects() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	out := make([]string, 0, len(v.objects))
 	for id := range v.objects {
 		out = append(out, id)

@@ -1,0 +1,135 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestMulTableMatchesMul checks every entry of the cached full table
+// against the scalar oracle.
+func TestMulTableMatchesMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		tab := MulTable(byte(c))
+		for x := 0; x < 256; x++ {
+			if got, want := tab[x], Mul(byte(c), byte(x)); got != want {
+				t.Fatalf("MulTable(%d)[%d] = %d, want %d", c, x, got, want)
+			}
+		}
+	}
+}
+
+// TestMulSliceTableDifferential fuzzes the table kernels against the
+// scalar MulSlice/MulSliceAssign oracle on random coefficients and
+// lengths 0–4096, including unaligned word tails and odd base offsets.
+func TestMulSliceTableDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lengths := []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 100, 255, 256, 1000, 4095, 4096}
+	for trial := 0; trial < 50; trial++ {
+		lengths = append(lengths, rng.Intn(4097))
+	}
+	for _, n := range lengths {
+		// Offset the slices so word loops see unaligned bases too.
+		off := rng.Intn(8)
+		buf := make([]byte, n+off)
+		src := buf[off:]
+		rng.Read(src)
+		coeffs := []byte{0, 1, 2, byte(rng.Intn(256)), byte(rng.Intn(256)), 255}
+		for _, c := range coeffs {
+			base := make([]byte, n)
+			rng.Read(base)
+
+			want := append([]byte(nil), base...)
+			MulSlice(c, src, want)
+			got := append([]byte(nil), base...)
+			MulSliceTable(c, src, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSliceTable(c=%d, n=%d) diverges from MulSlice", c, n)
+			}
+
+			want = append([]byte(nil), base...)
+			MulSliceAssign(c, src, want)
+			got = append([]byte(nil), base...)
+			MulSliceAssignTable(c, src, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSliceAssignTable(c=%d, n=%d) diverges from MulSliceAssign", c, n)
+			}
+
+			if c != 0 {
+				want = append([]byte(nil), base...)
+				MulSlice(c, src, want)
+				got = append([]byte(nil), base...)
+				MulSliceWith(MulTable(c), src, got)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulSliceWith(c=%d, n=%d) diverges from MulSlice", c, n)
+				}
+			}
+		}
+	}
+}
+
+// TestMulSliceAssignTableAliased exercises the in-place Horner pattern:
+// src and dst are the same slice.
+func TestMulSliceAssignTableAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 8, 17, 256, 4095} {
+		for _, c := range []byte{0, 1, 3, 0x8e, 255} {
+			buf := make([]byte, n)
+			rng.Read(buf)
+			want := append([]byte(nil), buf...)
+			MulSliceAssign(c, want, want)
+			MulSliceAssignTable(c, buf, buf)
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("aliased MulSliceAssignTable(c=%d, n=%d) diverges", c, n)
+			}
+		}
+	}
+}
+
+// TestAddSlice checks the word-wise XOR kernel against a byte loop.
+func TestAddSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 17, 100, 4095, 4096} {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		AddSlice(src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("AddSlice(n=%d) diverges from byte loop", n)
+		}
+	}
+	// Self-XOR zeroes.
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	AddSlice(buf, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("AddSlice(x, x)[%d] = %d, want 0", i, b)
+		}
+	}
+}
+
+// TestKernelLengthMismatchPanics preserves the scalar functions' panic
+// contract.
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"AddSlice":            func() { AddSlice(make([]byte, 3), make([]byte, 4)) },
+		"MulSliceTable":       func() { MulSliceTable(2, make([]byte, 3), make([]byte, 4)) },
+		"MulSliceAssignTable": func() { MulSliceAssignTable(2, make([]byte, 3), make([]byte, 4)) },
+		"MulSliceWith":        func() { MulSliceWith(MulTable(2), make([]byte, 3), make([]byte, 4)) },
+		"MulSliceAssignWith":  func() { MulSliceAssignWith(MulTable(2), make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -194,6 +194,22 @@ type Params struct {
 	N         int // parties
 	T         int // reconstruction threshold (also seed-sharing threshold)
 	SourceLen int // length of each party's extractor source w_i, bytes
+	// Par bounds the goroutines used by the inner Shamir split/combine
+	// calls; <= 0 selects GOMAXPROCS, 1 forces serial.
+	Par int
+}
+
+// Option configures Combine, which has no Params argument.
+type Option func(*config)
+
+type config struct {
+	par int
+}
+
+// WithParallelism bounds the number of goroutines Combine may use in its
+// inner Shamir reconstructions. n <= 0 (the default) selects GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.par = n }
 }
 
 // DefaultSourceLen is the source size granting resilience against tens of
@@ -232,7 +248,7 @@ func Split(secret []byte, p Params, rnd io.Reader) ([]Share, error) {
 	if len(secret) == 0 {
 		return nil, fmt.Errorf("%w: empty secret", ErrInvalidParams)
 	}
-	inner, err := shamir.Split(secret, p.N, p.T, rnd)
+	inner, err := shamir.Split(secret, p.N, p.T, rnd, shamir.WithParallelism(p.Par))
 	if err != nil {
 		return nil, err
 	}
@@ -249,12 +265,9 @@ func Split(secret []byte, p Params, rnd io.Reader) ([]Share, error) {
 		if _, err := io.ReadFull(rnd, seed); err != nil {
 			return nil, fmt.Errorf("lrss: reading randomness: %w", err)
 		}
-		mask := extract(w, seed, L)
-		masked := make([]byte, L)
-		for k := 0; k < L; k++ {
-			masked[k] = inner[i].Payload[k] ^ mask[k]
-		}
-		ss, err := shamir.Split(seed, p.N, p.T, rnd)
+		masked := extract(w, seed, L)
+		gf256.AddSlice(inner[i].Payload, masked)
+		ss, err := shamir.Split(seed, p.N, p.T, rnd, shamir.WithParallelism(p.Par))
 		if err != nil {
 			return nil, err
 		}
@@ -272,10 +285,15 @@ func Split(secret []byte, p Params, rnd io.Reader) ([]Share, error) {
 }
 
 // Combine reconstructs the secret from at least t LRSS shares.
-func Combine(shares []Share) ([]byte, error) {
+func Combine(shares []Share, opts ...Option) ([]byte, error) {
 	if len(shares) == 0 {
 		return nil, ErrTooFewShares
 	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	spar := shamir.WithParallelism(cfg.par)
 	t := int(shares[0].T)
 	L := shares[0].SecretLen
 	if len(shares) < t {
@@ -298,32 +316,29 @@ func Combine(shares []Share) ([]byte, error) {
 			}
 			seedParts[k2] = s2.SeedShares[s.Index]
 		}
-		seed, err := shamir.Combine(seedParts)
+		seed, err := shamir.Combine(seedParts, spar)
 		if err != nil {
 			return nil, fmt.Errorf("lrss: seed reconstruction for party %d: %w", s.Index, err)
 		}
-		mask := extract(s.Source, seed, L)
-		payload := make([]byte, L)
-		for k2 := 0; k2 < L; k2++ {
-			payload[k2] = s.Masked[k2] ^ mask[k2]
-		}
+		payload := extract(s.Source, seed, L)
+		gf256.AddSlice(s.Masked, payload)
 		inner[k] = shamir.Share{X: byte(s.Index + 1), Threshold: byte(t), Payload: payload}
 	}
-	return shamir.Combine(inner)
+	return shamir.Combine(inner, spar)
 }
 
 // extract is a GF(256) Toeplitz universal hash: out[j] = Σ_k seed[j+k]·w[k].
 // By the leftover hash lemma it is a strong extractor: for any source w
 // with min-entropy ≥ 8·outLen + 2·log(1/ε), the output is ε-close to
 // uniform given the seed.
+// Each output byte is a dot product along a seed diagonal; flipping the
+// loop order makes the inner loop a slice-times-constant over a
+// contiguous seed window, which runs on the table kernels instead of one
+// gf256.Mul per byte.
 func extract(w, seed []byte, outLen int) []byte {
 	out := make([]byte, outLen)
-	for j := 0; j < outLen; j++ {
-		var acc byte
-		for k := 0; k < len(w); k++ {
-			acc ^= gf256.Mul(seed[j+k], w[k])
-		}
-		out[j] = acc
+	for k := 0; k < len(w); k++ {
+		gf256.MulSliceTable(w[k], seed[k:k+outLen], out)
 	}
 	return out
 }

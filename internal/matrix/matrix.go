@@ -150,7 +150,7 @@ func (m *Matrix) Mul(o *Matrix) *Matrix {
 		mrow := m.Row(r)
 		orow := out.Row(r)
 		for k := 0; k < m.cols; k++ {
-			gf256.MulSlice(mrow[k], o.Row(k), orow)
+			gf256.MulSliceTable(mrow[k], o.Row(k), orow)
 		}
 	}
 	return out
@@ -193,7 +193,7 @@ func (m *Matrix) MulBlocks(blocks [][]byte) [][]byte {
 		out[r] = make([]byte, blen)
 		row := m.Row(r)
 		for c, coeff := range row {
-			gf256.MulSlice(coeff, blocks[c], out[r])
+			gf256.MulSliceTable(coeff, blocks[c], out[r])
 		}
 	}
 	return out
@@ -251,8 +251,9 @@ func (m *Matrix) Invert() (*Matrix, error) {
 			if f == 0 {
 				continue
 			}
-			gf256.MulSlice(f, a.Row(col), a.Row(r))
-			gf256.MulSlice(f, inv.Row(col), inv.Row(r))
+			ft := gf256.MulTable(f)
+			gf256.MulSliceWith(ft, a.Row(col), a.Row(r))
+			gf256.MulSliceWith(ft, inv.Row(col), inv.Row(r))
 		}
 	}
 	return inv, nil
@@ -267,7 +268,7 @@ func swapRows(m *Matrix, i, j int) {
 
 func scaleRow(m *Matrix, r int, c byte) {
 	row := m.Row(r)
-	gf256.MulSliceAssign(c, row, row)
+	gf256.MulSliceAssignTable(c, row, row)
 }
 
 // Systematic converts a full-rank rows-by-cols generator matrix

@@ -23,7 +23,33 @@ import (
 	"io"
 
 	"securearchive/internal/gf256"
+	"securearchive/internal/parallel"
 )
+
+// chunkGrain is the minimum byte range a worker takes; smaller payloads
+// are processed inline.
+const chunkGrain = 64 << 10
+
+// Option configures the Split/Combine hot paths.
+type Option func(*config)
+
+type config struct {
+	par int
+}
+
+// WithParallelism bounds the number of goroutines Split and Combine may
+// use. n <= 0 (the default) selects GOMAXPROCS; 1 forces the serial path.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.par = n }
+}
+
+func resolve(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
 
 // Errors returned by this package.
 var (
@@ -79,7 +105,8 @@ func shareX(p Params, i int) byte { return byte(p.K + p.T + i) }
 // Split shares the secret under p, reading randomness from rnd. The secret
 // is partitioned into k slots of ceil(len/k) bytes (zero-padded); byte
 // position j of slot s becomes the value at point s of the j-th polynomial.
-func Split(secret []byte, p Params, rnd io.Reader) ([]Share, error) {
+func Split(secret []byte, p Params, rnd io.Reader, opts ...Option) ([]Share, error) {
+	cfg := resolve(opts)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,33 +145,50 @@ func Split(secret []byte, p Params, rnd io.Reader) ([]Share, error) {
 	for i := range basePts {
 		basePts[i] = byte(i)
 	}
+	// ins is the full input vector (secret slots then blinding blocks);
+	// share i's payload is a fixed linear combination of it with the
+	// Lagrange coefficients for its evaluation point.
+	ins := make([][]byte, 0, p.K+p.T)
+	ins = append(ins, slots...)
+	ins = append(ins, blind...)
+	lcs := make([][]byte, p.N)
 	shares := make([]Share, p.N)
 	for i := 0; i < p.N; i++ {
 		x := shareX(p, i)
-		lc := gf256.LagrangeCoeffs(basePts, x)
-		payload := make([]byte, slotLen)
-		for s := 0; s < p.K; s++ {
-			gf256.MulSlice(lc[s], slots[s], payload)
-		}
-		for b := 0; b < p.T; b++ {
-			gf256.MulSlice(lc[p.K+b], blind[b], payload)
-		}
+		lcs[i] = gf256.LagrangeCoeffs(basePts, x)
 		shares[i] = Share{
 			X:         x,
 			Threshold: byte(p.T),
 			PackCount: byte(p.K),
 			SecretLen: len(secret),
-			Payload:   payload,
+			Payload:   make([]byte, slotLen),
 		}
 	}
+	// Job space is (share × byte-chunk), row-major so one worker streams a
+	// contiguous range of one payload. All randomness was read above.
+	nchunks := min((slotLen+chunkGrain-1)/chunkGrain, parallel.Workers(cfg.par))
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	parallel.For(cfg.par, p.N*nchunks, 1, func(jlo, jhi int) {
+		for job := jlo; job < jhi; job++ {
+			i, ck := job/nchunks, job%nchunks
+			lo, hi := parallel.Span(slotLen, nchunks, ck)
+			payload := shares[i].Payload[lo:hi]
+			for s, in := range ins {
+				gf256.MulSliceTable(lcs[i][s], in[lo:hi], payload)
+			}
+		}
+	})
 	return shares, nil
 }
 
 // Combine reconstructs the secret from at least t+k shares.
-func Combine(shares []Share) ([]byte, error) {
+func Combine(shares []Share, opts ...Option) ([]byte, error) {
 	if len(shares) == 0 {
 		return nil, ErrTooFewShares
 	}
+	cfg := resolve(opts)
 	t := int(shares[0].Threshold)
 	k := int(shares[0].PackCount)
 	secLen := shares[0].SecretLen
@@ -169,16 +213,29 @@ func Combine(shares []Share) ([]byte, error) {
 		xs[i] = s.X
 	}
 	out := make([]byte, 0, secLen)
-	// Interpolate the polynomial at each secret point 0..k-1.
+	// Interpolate the polynomial at each secret point 0..k-1. The job
+	// space is (slot × byte-chunk): each worker owns a disjoint range of
+	// one slot buffer.
 	slots := make([][]byte, k)
+	lcs := make([][]byte, k)
 	for s := 0; s < k; s++ {
-		lc := gf256.LagrangeCoeffs(xs, byte(s))
-		slot := make([]byte, slotLen)
-		for i, sh := range use {
-			gf256.MulSlice(lc[i], sh.Payload, slot)
-		}
-		slots[s] = slot
+		lcs[s] = gf256.LagrangeCoeffs(xs, byte(s))
+		slots[s] = make([]byte, slotLen)
 	}
+	nchunks := min((slotLen+chunkGrain-1)/chunkGrain, parallel.Workers(cfg.par))
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	parallel.For(cfg.par, k*nchunks, 1, func(jlo, jhi int) {
+		for job := jlo; job < jhi; job++ {
+			s, ck := job/nchunks, job%nchunks
+			lo, hi := parallel.Span(slotLen, nchunks, ck)
+			slot := slots[s][lo:hi]
+			for i, sh := range use {
+				gf256.MulSliceTable(lcs[s][i], sh.Payload[lo:hi], slot)
+			}
+		}
+	})
 	for s := 0; s < k; s++ {
 		out = append(out, slots[s]...)
 	}

@@ -1,0 +1,112 @@
+// Package parallel provides the bounded fork-join helpers the coding hot
+// paths (rs, shamir, packed) use to spread encode/decode work across
+// goroutines.
+//
+// The model is deliberately minimal: a chunked loop (For) and a bounded
+// task runner (Do), both capped by a worker count that defaults to
+// runtime.GOMAXPROCS(0). Work is partitioned statically into contiguous
+// chunks — coding workloads are uniform per byte, so static partitioning
+// beats a work-stealing queue and keeps each worker streaming over one
+// contiguous byte range (cache-friendly, no false sharing on shard
+// boundaries). Callers express a minimum grain so small payloads never
+// pay goroutine overhead: with n <= grain or workers == 1 the loop runs
+// inline on the calling goroutine.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested parallelism degree: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged. This is the
+// single knob the WithParallelism options across rs/shamir/packed/core
+// funnel into.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For splits the index range [0, n) into at most p contiguous chunks of
+// at least grain elements each and runs fn(lo, hi) on every chunk, using
+// up to p goroutines (p <= 0 means GOMAXPROCS). fn is called exactly once
+// per chunk, chunks are disjoint and cover [0, n), and For returns only
+// after every call has finished. fn must be safe to run concurrently on
+// disjoint ranges. When only one chunk results, fn runs inline.
+func For(p, n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p = Workers(p)
+	chunks := (n + grain - 1) / grain
+	if chunks > p {
+		chunks = p
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks - 1)
+	for i := 1; i < chunks; i++ {
+		lo, hi := Span(n, chunks, i)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	lo, hi := Span(n, chunks, 0)
+	fn(lo, hi)
+	wg.Wait()
+}
+
+// Span returns the half-open range [lo, hi) of chunk i when [0, n) is
+// split into k balanced contiguous chunks (sizes differ by at most one).
+func Span(n, k, i int) (lo, hi int) {
+	q, r := n/k, n%k
+	lo = i * q
+	if i < r {
+		lo += i
+	} else {
+		lo += r
+	}
+	hi = lo + q
+	if i < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// Do runs the given functions with at most p executing concurrently
+// (p <= 0 means GOMAXPROCS) and returns when all have finished.
+func Do(p int, fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	p = Workers(p)
+	if p == 1 || len(fns) == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	sem := make(chan struct{}, p)
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		sem <- struct{}{}
+		go func(fn func()) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}

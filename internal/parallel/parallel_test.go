@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+// TestForCoversRangeExactlyOnce checks that every index is visited exactly
+// once for a grid of (p, n, grain) combinations.
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000, 4097} {
+			for _, grain := range []int{0, 1, 16, 1024, 10000} {
+				counts := make([]int32, n)
+				For(p, n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("For(p=%d, n=%d, grain=%d): bad range [%d,%d)", p, n, grain, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("For(p=%d, n=%d, grain=%d): index %d visited %d times", p, n, grain, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForGrainKeepsSmallWorkSerial verifies that n <= grain runs as one
+// inline chunk (observable as a single call covering the whole range).
+func TestForGrainKeepsSmallWorkSerial(t *testing.T) {
+	var calls int32
+	For(8, 100, 1000, func(lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		if lo != 0 || hi != 100 {
+			t.Errorf("expected single chunk [0,100), got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected 1 chunk, got %d", calls)
+	}
+}
+
+func TestSpanPartitions(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 17, 1000} {
+		for k := 1; k <= n && k < 20; k++ {
+			prev := 0
+			for i := 0; i < k; i++ {
+				lo, hi := Span(n, k, i)
+				if lo != prev {
+					t.Fatalf("Span(%d,%d,%d): lo=%d, want %d", n, k, i, lo, prev)
+				}
+				if sz := hi - lo; sz < n/k || sz > n/k+1 {
+					t.Fatalf("Span(%d,%d,%d): unbalanced size %d", n, k, i, sz)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("Span(%d,%d,·): chunks end at %d, want %d", n, k, prev, n)
+			}
+		}
+	}
+}
+
+func TestDo(t *testing.T) {
+	var sum int64
+	fns := make([]func(), 37)
+	for i := range fns {
+		i := i
+		fns[i] = func() { atomic.AddInt64(&sum, int64(i)) }
+	}
+	Do(4, fns...)
+	if sum != 37*36/2 {
+		t.Fatalf("Do: sum = %d, want %d", sum, 37*36/2)
+	}
+	// Serial path.
+	sum = 0
+	Do(1, fns...)
+	if sum != 37*36/2 {
+		t.Fatalf("Do serial: sum = %d, want %d", sum, 37*36/2)
+	}
+}

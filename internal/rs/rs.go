@@ -11,20 +11,33 @@
 // (Resch & Plank, FAST '11). Package shamir provides the non-systematic
 // counterpart: per McEliece & Sarwate, Shamir secret sharing *is* a
 // non-systematic [n, t] Reed-Solomon code with random high coefficients.
+//
+// The hot paths run on the table-driven gf256 kernels: each Code caches a
+// multiplication table per generator-matrix coefficient at construction,
+// and Encode/Reconstruct split their work across goroutines by parity
+// row and byte range (see WithParallelism). The §3.2 throughput argument
+// of the paper is measured against exactly this path.
 package rs
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
 	"securearchive/internal/gf256"
 	"securearchive/internal/matrix"
+	"securearchive/internal/parallel"
 )
 
 // Limits on code parameters. Evaluation points live in GF(256) \ {0}.
 const (
 	MaxShards = 255
 )
+
+// chunkGrain is the minimum byte range a worker takes. At kernel speed a
+// grain costs tens of microseconds, comfortably above goroutine overhead;
+// payloads below it are encoded inline.
+const chunkGrain = 64 << 10
 
 // Errors returned by this package.
 var (
@@ -44,11 +57,28 @@ type Code struct {
 	// gen is the full n-by-k systematic generator matrix: the top k rows
 	// are the identity, the bottom m rows are the Cauchy parity rows.
 	gen *matrix.Matrix
+	// parityTabs[i][j] is the cached multiplication table for parity row
+	// i, data column j — built once in New so repeated Encode calls never
+	// re-derive coefficient tables.
+	parityTabs [][]*[256]byte
+	// par bounds the worker count for Encode/Reconstruct; 0 means
+	// GOMAXPROCS.
+	par int
+}
+
+// Option configures a Code.
+type Option func(*Code)
+
+// WithParallelism bounds the number of goroutines Encode, EncodeShards
+// and Reconstruct may use. n <= 0 (the default) selects GOMAXPROCS; 1
+// forces the serial path.
+func WithParallelism(n int) Option {
+	return func(c *Code) { c.par = n }
 }
 
 // New constructs a code with the given number of data and parity shards.
 // data must be >= 1, parity >= 0, and data+parity <= MaxShards.
-func New(data, parity int) (*Code, error) {
+func New(data, parity int, opts ...Option) (*Code, error) {
 	if data < 1 || parity < 0 || data+parity > MaxShards {
 		return nil, fmt.Errorf("%w: data=%d parity=%d", ErrInvalidParams, data, parity)
 	}
@@ -72,7 +102,52 @@ func New(data, parity int) (*Code, error) {
 			copy(gen.Row(data+i), cauchy.Row(i))
 		}
 	}
-	return &Code{data: data, parity: parity, gen: gen}, nil
+	c := &Code{data: data, parity: parity, gen: gen}
+	c.parityTabs = rowTables(gen, data, n)
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// rowTables caches a gf256 multiplication table pointer per coefficient
+// of rows [from, to) of m. The pointers alias the shared 64 KiB full
+// table, so this costs one slice of pointers per row.
+func rowTables(m *matrix.Matrix, from, to int) [][]*[256]byte {
+	tabs := make([][]*[256]byte, to-from)
+	for i := from; i < to; i++ {
+		row := m.Row(i)
+		t := make([]*[256]byte, len(row))
+		for j, coeff := range row {
+			t[j] = gf256.MulTable(coeff)
+		}
+		tabs[i-from] = t
+	}
+	return tabs
+}
+
+// mulAcc accumulates dst ^= coeff·src with the 0/1 fast paths, using a
+// cached table for the general case.
+func mulAcc(coeff byte, tab *[256]byte, src, dst []byte) {
+	switch coeff {
+	case 0:
+	case 1:
+		gf256.AddSlice(src, dst)
+	default:
+		gf256.MulSliceWith(tab, src, dst)
+	}
+}
+
+// mulAssign overwrites dst = coeff·src with the 0/1 fast paths.
+func mulAssign(coeff byte, tab *[256]byte, src, dst []byte) {
+	switch coeff {
+	case 0:
+		clear(dst)
+	case 1:
+		copy(dst, src)
+	default:
+		gf256.MulSliceAssignWith(tab, src, dst)
+	}
 }
 
 // DataShards returns k, the number of data shards.
@@ -129,22 +204,48 @@ func (c *Code) Encode(data []byte) ([][]byte, error) {
 }
 
 // EncodeShards computes parity in place: shards must hold n slices of equal
-// length, the first k containing data; the last m are overwritten.
+// length, the first k containing data; the last m are overwritten. The
+// work is split across goroutines by parity row and byte range, bounded
+// by the code's parallelism.
 func (c *Code) EncodeShards(shards [][]byte) error {
 	if err := c.checkShape(shards, true); err != nil {
 		return err
 	}
-	for i := 0; i < c.parity; i++ {
-		row := c.gen.Row(c.data + i)
-		out := shards[c.data+i]
-		for j := range out {
-			out[j] = 0
-		}
-		for j := 0; j < c.data; j++ {
-			gf256.MulSlice(row[j], shards[j], out)
-		}
+	if c.parity == 0 {
+		return nil
 	}
+	size := len(shards[0])
+	c.forRowChunks(c.parity, size, func(i, lo, hi int) {
+		row := c.gen.Row(c.data + i)
+		tabs := c.parityTabs[i]
+		out := shards[c.data+i][lo:hi]
+		mulAssign(row[0], tabs[0], shards[0][lo:hi], out)
+		for j := 1; j < c.data; j++ {
+			mulAcc(row[j], tabs[j], shards[j][lo:hi], out)
+		}
+	})
 	return nil
+}
+
+// forRowChunks runs fn(row, lo, hi) over the product of `rows` output
+// rows and byte-range chunks of [0, size), in parallel up to the code's
+// worker bound. Chunk indices are row-major so one worker streams
+// adjacent byte ranges of the same row.
+func (c *Code) forRowChunks(rows, size int, fn func(row, lo, hi int)) {
+	nchunks := (size + chunkGrain - 1) / chunkGrain
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	if workers := parallel.Workers(c.par); nchunks > workers {
+		nchunks = workers
+	}
+	parallel.For(c.par, rows*nchunks, 1, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			row, ck := j/nchunks, j%nchunks
+			lo, hi := parallel.Span(size, nchunks, ck)
+			fn(row, lo, hi)
+		}
+	})
 }
 
 // Verify recomputes parity from the data shards and reports whether it
@@ -157,19 +258,18 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 		return true, nil
 	}
 	size := len(shards[0])
+	// One scratch buffer for all parity rows: the first column overwrites
+	// it, so no per-row zeroing pass is needed.
 	scratch := make([]byte, size)
 	for i := 0; i < c.parity; i++ {
 		row := c.gen.Row(c.data + i)
-		for j := range scratch {
-			scratch[j] = 0
+		tabs := c.parityTabs[i]
+		mulAssign(row[0], tabs[0], shards[0], scratch)
+		for j := 1; j < c.data; j++ {
+			mulAcc(row[j], tabs[j], shards[j], scratch)
 		}
-		for j := 0; j < c.data; j++ {
-			gf256.MulSlice(row[j], shards[j], scratch)
-		}
-		for j := range scratch {
-			if scratch[j] != shards[c.data+i][j] {
-				return false, nil
-			}
+		if !bytes.Equal(scratch, shards[c.data+i]) {
+			return false, nil
 		}
 	}
 	return true, nil
@@ -177,7 +277,8 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 
 // Reconstruct fills in missing (nil) shards in place. At least k shards
 // must be present. Present shards are never modified; reconstructed shards
-// are freshly allocated.
+// are freshly allocated. Recovery of multiple shards runs in parallel by
+// output row and byte range.
 func (c *Code) Reconstruct(shards [][]byte) error {
 	if len(shards) != c.TotalShards() {
 		return fmt.Errorf("%w: have %d, want %d", ErrShardCount, len(shards), c.TotalShards())
@@ -227,6 +328,14 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 		}
 	}
 	dataOut := make([][]byte, c.data)
+	type job struct {
+		out  []byte
+		row  []byte
+		tabs []*[256]byte
+		in   [][]byte
+	}
+	var jobs []job
+	decTabs := rowTables(dec, 0, dec.Rows())
 	for d := 0; d < c.data; d++ {
 		have := shards[d] != nil
 		if have && !needAllData {
@@ -237,26 +346,36 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 			continue
 		}
 		out := make([]byte, size)
-		row := dec.Row(d)
-		for j := 0; j < c.data; j++ {
-			gf256.MulSlice(row[j], inputs[j], out)
-		}
 		dataOut[d] = out
 		shards[d] = out
+		jobs = append(jobs, job{out: out, row: dec.Row(d), tabs: decTabs[d], in: inputs})
 	}
+	runJobs := func(jobs []job) {
+		if len(jobs) == 0 {
+			return
+		}
+		c.forRowChunks(len(jobs), size, func(i, lo, hi int) {
+			jb := jobs[i]
+			out := jb.out[lo:hi]
+			mulAssign(jb.row[0], jb.tabs[0], jb.in[0][lo:hi], out)
+			for j := 1; j < len(jb.row); j++ {
+				mulAcc(jb.row[j], jb.tabs[j], jb.in[j][lo:hi], out)
+			}
+		})
+	}
+	runJobs(jobs)
 
 	// Recompute any missing parity shards from the (now complete) data.
+	jobs = jobs[:0]
 	for _, mi := range missing {
 		if mi < c.data {
 			continue
 		}
 		out := make([]byte, size)
-		row := c.gen.Row(mi)
-		for j := 0; j < c.data; j++ {
-			gf256.MulSlice(row[j], dataOut[j], out)
-		}
 		shards[mi] = out
+		jobs = append(jobs, job{out: out, row: c.gen.Row(mi), tabs: c.parityTabs[mi-c.data], in: dataOut})
 	}
+	runJobs(jobs)
 	return nil
 }
 
@@ -306,9 +425,22 @@ func (c *Code) checkShape(shards [][]byte, needAll bool) error {
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// encodeShardsScalar is the seed implementation of EncodeShards on the
+// branchy scalar gf256.MulSlice path, retained as the differential oracle
+// for tests and the before/after benchmark baseline.
+func (c *Code) encodeShardsScalar(shards [][]byte) error {
+	if err := c.checkShape(shards, true); err != nil {
+		return err
 	}
-	return b
+	for i := 0; i < c.parity; i++ {
+		row := c.gen.Row(c.data + i)
+		out := shards[c.data+i]
+		for j := range out {
+			out[j] = 0
+		}
+		for j := 0; j < c.data; j++ {
+			gf256.MulSlice(row[j], shards[j], out)
+		}
+	}
+	return nil
 }

@@ -17,6 +17,13 @@
 //
 // Randomness is taken from an injected io.Reader so tests are
 // deterministic; production callers pass crypto/rand.Reader.
+//
+// The byte-parallel structure makes the hot paths embarrassingly
+// parallel: every byte position is an independent polynomial. Split and
+// Combine evaluate on the table-driven gf256 kernels and split their work
+// across goroutines by (share, byte-range) — see WithParallelism. All
+// randomness is drawn before any worker starts, so results are
+// deterministic for a given reader regardless of parallelism.
 package shamir
 
 import (
@@ -25,7 +32,34 @@ import (
 	"io"
 
 	"securearchive/internal/gf256"
+	"securearchive/internal/parallel"
 )
+
+// chunkGrain is the minimum byte range a worker takes; payloads below it
+// are processed inline.
+const chunkGrain = 64 << 10
+
+// Option configures the Split/Combine hot paths.
+type Option func(*config)
+
+type config struct {
+	par int
+}
+
+// WithParallelism bounds the number of goroutines Split, SplitAt, Combine
+// and CombineAt may use. n <= 0 (the default) selects GOMAXPROCS; 1
+// forces the serial path.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.par = n }
+}
+
+func resolve(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
 
 // Errors returned by this package.
 var (
@@ -65,18 +99,19 @@ func (s Share) Clone() Share {
 // Split shares secret into n shares with reconstruction threshold t,
 // 1 <= t <= n <= MaxShares, reading randomness from rnd. Share i is
 // assigned evaluation point i+1.
-func Split(secret []byte, n, t int, rnd io.Reader) ([]Share, error) {
+func Split(secret []byte, n, t int, rnd io.Reader, opts ...Option) ([]Share, error) {
 	xs := make([]byte, n)
 	for i := range xs {
 		xs[i] = byte(i + 1)
 	}
-	return SplitAt(secret, xs, t, rnd)
+	return SplitAt(secret, xs, t, rnd, opts...)
 }
 
 // SplitAt is Split with caller-chosen distinct non-zero evaluation points,
 // one per share. It is used by the proactive and packed layers, which need
 // control over point assignment.
-func SplitAt(secret []byte, xs []byte, t int, rnd io.Reader) ([]Share, error) {
+func SplitAt(secret []byte, xs []byte, t int, rnd io.Reader, opts ...Option) ([]Share, error) {
+	cfg := resolve(opts)
 	n := len(xs)
 	if t < 1 || t > n || n > MaxShares {
 		return nil, fmt.Errorf("%w: t=%d n=%d", ErrInvalidParams, t, n)
@@ -96,6 +131,8 @@ func SplitAt(secret []byte, xs []byte, t int, rnd io.Reader) ([]Share, error) {
 	}
 
 	// Coefficient blocks: block 0 is the secret, blocks 1..t-1 are random.
+	// All randomness is drawn here, before any worker starts, so the output
+	// does not depend on goroutine scheduling.
 	L := len(secret)
 	coeffs := make([][]byte, t)
 	coeffs[0] = secret
@@ -107,18 +144,33 @@ func SplitAt(secret []byte, xs []byte, t int, rnd io.Reader) ([]Share, error) {
 	}
 
 	shares := make([]Share, n)
+	tabs := make([]*[256]byte, n)
 	for i, x := range xs {
-		payload := make([]byte, L)
-		// Horner over blocks: payload = ((c_{t-1}·x + c_{t-2})·x + ...)·x + c_0
-		copy(payload, coeffs[t-1])
-		for j := t - 2; j >= 0; j-- {
-			gf256.MulSliceAssign(x, payload, payload)
-			for k, c := range coeffs[j] {
-				payload[k] ^= c
+		shares[i] = Share{X: x, Threshold: byte(t), Payload: make([]byte, L)}
+		tabs[i] = gf256.MulTable(x)
+	}
+
+	// Every byte position is an independent polynomial, so the Horner
+	// evaluation splits freely across both shares and byte ranges. The job
+	// space is (share × chunk), row-major so one worker streams through a
+	// contiguous byte range of one share.
+	nchunks := min((L+chunkGrain-1)/chunkGrain, parallel.Workers(cfg.par))
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	parallel.For(cfg.par, n*nchunks, 1, func(jlo, jhi int) {
+		for job := jlo; job < jhi; job++ {
+			i, ck := job/nchunks, job%nchunks
+			lo, hi := parallel.Span(L, nchunks, ck)
+			payload := shares[i].Payload[lo:hi]
+			// Horner over blocks: payload = ((c_{t-1}·x + c_{t-2})·x + ...)·x + c_0
+			copy(payload, coeffs[t-1][lo:hi])
+			for j := t - 2; j >= 0; j-- {
+				gf256.MulSliceAssignWith(tabs[i], payload, payload)
+				gf256.AddSlice(coeffs[j][lo:hi], payload)
 			}
 		}
-		shares[i] = Share{X: x, Threshold: byte(t), Payload: payload}
-	}
+	})
 	return shares, nil
 }
 
@@ -127,16 +179,17 @@ func SplitAt(secret []byte, xs []byte, t int, rnd io.Reader) ([]Share, error) {
 // on the same degree-(t-1) polynomial, ErrInconsistent is returned. This
 // detects (but does not identify) corrupted shares; for identification use
 // the vss package.
-func Combine(shares []Share) ([]byte, error) {
+func Combine(shares []Share, opts ...Option) ([]byte, error) {
 	if err := validate(shares); err != nil {
 		return nil, err
 	}
+	cfg := resolve(opts)
 	t := int(shares[0].Threshold)
-	secret := combineAt(shares[:t], 0)
+	secret := combineAt(shares[:t], 0, cfg)
 	// Consistency check with surplus shares: each extra share must match
 	// the polynomial interpolated from the first t.
 	for _, extra := range shares[t:] {
-		pred := combineAt(shares[:t], extra.X)
+		pred := combineAt(shares[:t], extra.X, cfg)
 		for i := range pred {
 			if pred[i] != extra.Payload[i] {
 				return nil, fmt.Errorf("%w: share x=%d off-polynomial at byte %d", ErrInconsistent, extra.X, i)
@@ -150,24 +203,29 @@ func Combine(shares []Share) ([]byte, error) {
 // at least t shares. CombineAt(shares, 0) reconstructs the secret;
 // non-zero x yields the share that a participant with point x would hold,
 // which is what verifiable share redistribution needs.
-func CombineAt(shares []Share, x byte) ([]byte, error) {
+func CombineAt(shares []Share, x byte, opts ...Option) ([]byte, error) {
 	if err := validate(shares); err != nil {
 		return nil, err
 	}
 	t := int(shares[0].Threshold)
-	return combineAt(shares[:t], x), nil
+	return combineAt(shares[:t], x, resolve(opts)), nil
 }
 
-func combineAt(shares []Share, x byte) []byte {
+func combineAt(shares []Share, x byte, cfg config) []byte {
 	xs := make([]byte, len(shares))
 	for i, s := range shares {
 		xs[i] = s.X
 	}
 	lc := gf256.LagrangeCoeffs(xs, x)
-	out := make([]byte, len(shares[0].Payload))
-	for i, s := range shares {
-		gf256.MulSlice(lc[i], s.Payload, out)
-	}
+	L := len(shares[0].Payload)
+	out := make([]byte, L)
+	// Interpolation is a dot product per byte position; chunk the byte
+	// range so each worker owns a disjoint slice of out.
+	parallel.For(cfg.par, L, chunkGrain, func(lo, hi int) {
+		for i, s := range shares {
+			gf256.MulSliceTable(lc[i], s.Payload[lo:hi], out[lo:hi])
+		}
+	})
 	return out
 }
 
@@ -226,9 +284,8 @@ func Add(a, b []Share) ([]Share, error) {
 			return nil, ErrPayloadSize
 		}
 		p := make([]byte, len(a[i].Payload))
-		for j := range p {
-			p[j] = a[i].Payload[j] ^ b[i].Payload[j]
-		}
+		copy(p, a[i].Payload)
+		gf256.AddSlice(b[i].Payload, p)
 		out[i] = Share{X: a[i].X, Threshold: a[i].Threshold, Payload: p}
 	}
 	return out, nil
