@@ -127,9 +127,9 @@ func cmdPut(args []string) {
 		}
 	}
 	total, min := enc.Shards()
-	digests := make([]string, len(e.Shards))
-	for i, sh := range e.Shards {
-		d := sha256.Sum256(sh)
+	fresh := core.ShardDigests(e.Shards)
+	digests := make([]string, len(fresh))
+	for i, d := range fresh {
 		digests[i] = base64.StdEncoding.EncodeToString(d[:])
 	}
 	m := manifest{
@@ -255,9 +255,11 @@ func cmdInfo(args []string) {
 
 // cmdScrub verifies every shard against its manifest digest and, with
 // -repair, rebuilds missing or corrupt shards by decoding from the
-// healthy ones and re-encoding. Re-encoding draws fresh randomness, so
-// for the sharing-based encodings a repair doubles as a share refresh;
-// the manifest is rewritten to match.
+// healthy ones and re-encoding. The digest classification is the
+// library's (core.CheckShards — the same logic Vault.Scrub runs against
+// the cluster). Re-encoding draws fresh randomness, so for the
+// sharing-based encodings a repair doubles as a share refresh; the
+// manifest is rewritten to match.
 func cmdScrub(args []string) {
 	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
 	mpath := fs.String("manifest", "", "manifest file")
@@ -274,25 +276,30 @@ func cmdScrub(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	digests := make([][sha256.Size]byte, len(m.ShardDigests))
+	for i, d := range m.ShardDigests {
+		raw, err := base64.StdEncoding.DecodeString(d)
+		if err != nil || len(raw) != sha256.Size {
+			fatal(fmt.Errorf("scrub: manifest digest %d malformed", i))
+		}
+		copy(digests[i][:], raw)
+	}
 	shards := make([][]byte, m.N)
-	healthy, bad := 0, 0
 	for i := 0; i < m.N; i++ {
 		p := filepath.Join(m.Store, fmt.Sprintf("node-%02d", i), m.Object+".shard")
-		b, err := os.ReadFile(p)
-		if err != nil {
-			fmt.Printf("node-%02d: MISSING\n", i)
-			bad++
-			continue
+		if b, err := os.ReadFile(p); err == nil {
+			shards[i] = b
 		}
-		d := sha256.Sum256(b)
-		if i < len(m.ShardDigests) && base64.StdEncoding.EncodeToString(d[:]) != m.ShardDigests[i] {
-			fmt.Printf("node-%02d: CORRUPT (digest mismatch)\n", i)
-			bad++
-			continue
-		}
-		shards[i] = b
-		healthy++
 	}
+	healthyIdx, missing, corrupt := core.CheckShards(shards, digests)
+	for _, i := range missing {
+		fmt.Printf("node-%02d: MISSING\n", i)
+	}
+	for _, i := range corrupt {
+		fmt.Printf("node-%02d: CORRUPT (digest mismatch)\n", i)
+		shards[i] = nil // never decode from rotted bytes
+	}
+	healthy, bad := len(healthyIdx), len(missing)+len(corrupt)
 	fmt.Printf("scrub: %d healthy, %d bad of %d shards — %s\n", healthy, bad, m.N, healthWord(healthy, m.Min))
 	if bad == 0 || !*repair {
 		if bad > 0 {
@@ -323,14 +330,14 @@ func cmdScrub(args []string) {
 			fatal(err)
 		}
 	}
-	digests := make([]string, len(e.Shards))
-	for i, sh := range e.Shards {
-		d := sha256.Sum256(sh)
-		digests[i] = base64.StdEncoding.EncodeToString(d[:])
+	fresh := core.ShardDigests(e.Shards)
+	b64 := make([]string, len(fresh))
+	for i, d := range fresh {
+		b64[i] = base64.StdEncoding.EncodeToString(d[:])
 	}
 	m.PublicMeta = base64.StdEncoding.EncodeToString(e.PublicMeta)
 	m.ClientSecret = base64.StdEncoding.EncodeToString(e.ClientSecret)
-	m.ShardDigests = digests
+	m.ShardDigests = b64
 	mb, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		fatal(err)

@@ -1,11 +1,15 @@
 // Command attacksim runs the paper's threat model against every Table 1
 // system: Harvest-Now-Decrypt-Later campaigns (E4), mobile-adversary vs
-// proactive-renewal races (E5), and the local-leakage attack on Shamir
-// sharing with its LRSS counter (E8).
+// proactive-renewal races (E5), the local-leakage attack on Shamir
+// sharing with its LRSS counter (E8), and an availability campaign that
+// reads every system through a continuously faulty cluster — rotating
+// node outages, transient errors, bit rot — to measure how far the
+// degraded k-of-n read paths carry each design.
 //
 // Usage:
 //
-//	attacksim -campaign hndl|mobile|leakage|all [-epochs N] [-budget B] [-seed S]
+//	attacksim -campaign hndl|mobile|leakage|faults|all [-epochs N] [-budget B] [-seed S]
+//	          [-transient P] [-offline K] [-corrupt P]
 package main
 
 import (
@@ -28,10 +32,13 @@ import (
 var payload = []byte("the archived secret: decades of confidentiality required")
 
 func main() {
-	campaign := flag.String("campaign", "all", "hndl | mobile | leakage | all")
+	campaign := flag.String("campaign", "all", "hndl | mobile | leakage | faults | all")
 	epochs := flag.Int("epochs", 16, "epochs the adversary operates")
 	budget := flag.Int("budget", 1, "node corruptions per epoch")
 	seed := flag.Int64("seed", 42, "adversary randomness seed")
+	transient := flag.Float64("transient", 0.2, "faults: per-op transient-error probability")
+	offline := flag.Int("offline", 2, "faults: nodes offline at a time (rotating)")
+	corrupt := flag.Float64("corrupt", 0.01, "faults: per-read bit-rot probability")
 	flag.Parse()
 
 	switch *campaign {
@@ -41,10 +48,13 @@ func main() {
 		runMobile(*epochs, *budget, *seed)
 	case "leakage":
 		runLeakage()
+	case "faults":
+		runFaults(*epochs, *seed, *transient, *offline, *corrupt)
 	case "all":
 		runHNDL(*epochs, *budget, *seed)
 		runMobile(*epochs, *budget, *seed)
 		runLeakage()
+		runFaults(*epochs, *seed, *transient, *offline, *corrupt)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -209,6 +219,80 @@ func runLeakage() {
 	}
 	fmt.Printf("LRSS storage price: %.0fx (vs 24x for plain sharing at n=24)\n",
 		lrss.StorageOverhead(p, 4096))
+	fmt.Println()
+}
+
+// runFaults measures availability: every system stores one object on a
+// healthy cluster, then a FaultPlan turns the substrate hostile —
+// `offline` nodes down at a time in a rotating schedule, every operation
+// failing transiently with probability `transient`, and bit rot striking
+// reads with probability `corrupt`. Each epoch every system retrieves
+// its object; a read counts only if it returns the original bytes.
+// Systems that verify what they fetch (VSR's commitments) route around
+// rot; systems that combine blindly surface it as corrupted reads.
+func runFaults(epochs int, seed int64, transient float64, offline int, corrupt float64) {
+	fmt.Printf("=== availability: degraded reads under faults (transient=%.2f, offline=%d/8 rotating, bit-rot=%.2f) ===\n",
+		transient, offline, corrupt)
+	sys, c, err := buildSystems()
+	if err != nil {
+		fatal(err)
+	}
+	refs := map[string]*systems.Ref{}
+	for name, s := range sys {
+		ref, err := s.Store("obj-"+name, dataFor(name), rand.Reader)
+		if err != nil {
+			fatal(err)
+		}
+		refs[name] = ref
+	}
+	plan := &cluster.FaultPlan{
+		Seed:    seed,
+		Default: cluster.NodeFaults{TransientProb: transient, CorruptProb: corrupt},
+		Nodes:   map[int]cluster.NodeFaults{},
+	}
+	nodes := c.Size()
+	for i := 0; i < nodes; i++ {
+		f := plan.Default
+		// Rotating outage: at epoch e, nodes (e+j)%nodes for j<offline
+		// are down; expressed per node as its own window list.
+		for e := 0; e < epochs; e++ {
+			down := false
+			for j := 0; j < offline; j++ {
+				if (e+j)%nodes == i {
+					down = true
+				}
+			}
+			if down {
+				f.Offline = append(f.Offline, cluster.Window{From: e, To: e + 1})
+			}
+		}
+		plan.Nodes[i] = f
+	}
+	c.SetFaultPlan(plan)
+	names := []string{"cloud", "archivesafe", "aontrs", "potshards", "vsr", "lincos", "hasdpss"}
+	ok := map[string]int{}
+	bad := map[string]int{}
+	for e := 0; e < epochs; e++ {
+		for _, name := range names {
+			got, err := sys[name].Retrieve(refs[name])
+			switch {
+			case err == nil && string(got) == string(dataFor(name)):
+				ok[name]++
+			case err == nil:
+				bad[name]++ // read "succeeded" but returned rotted bytes
+			}
+		}
+		c.AdvanceEpoch()
+	}
+	c.SetFaultPlan(nil)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "system\tgood reads\tcorrupted reads\tfailed reads\tavailability\n")
+	for _, name := range names {
+		failed := epochs - ok[name] - bad[name]
+		fmt.Fprintf(w, "%s\t%d/%d\t%d\t%d\t%.0f%%\n",
+			sys[name].Name(), ok[name], epochs, bad[name], failed, 100*float64(ok[name])/float64(epochs))
+	}
+	w.Flush()
 	fmt.Println()
 }
 

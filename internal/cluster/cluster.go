@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by this package.
@@ -29,6 +30,9 @@ var (
 	ErrNoSuchNode   = errors.New("cluster: no such node")
 	ErrNoSuchShard  = errors.New("cluster: shard not found")
 	ErrDuplicateKey = errors.New("cluster: shard already present")
+	// ErrTransient is a retryable fault (timeout, throttle) injected by
+	// the cluster's FaultPlan; see RetryTransient.
+	ErrTransient = errors.New("cluster: transient I/O error")
 )
 
 // ShardKey addresses one shard of one object version.
@@ -52,10 +56,24 @@ type Node struct {
 
 	mu     sync.Mutex
 	shards map[ShardKey]Shard
-	// BytesIn/BytesOut meter all traffic through this node.
-	BytesIn  int64
-	BytesOut int64
+	// staged holds shards written but not yet committed; see staging.go.
+	staged map[ShardKey]stagedShard
+	// faults and faultState drive fault injection; see fault.go.
+	faults     *NodeFaults
+	faultState uint64
+	// bytesIn/bytesOut meter all traffic through this node; atomics so
+	// monitoring can read them lock-free while traffic flows.
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
 }
+
+// BytesIn returns the bytes written to this node so far. Safe to call
+// concurrently with traffic.
+func (n *Node) BytesIn() int64 { return n.bytesIn.Load() }
+
+// BytesOut returns the bytes read from this node so far. Safe to call
+// concurrently with traffic.
+func (n *Node) BytesOut() int64 { return n.bytesOut.Load() }
 
 // Cluster is a set of nodes sharing an epoch clock.
 type Cluster struct {
@@ -140,6 +158,9 @@ func (c *Cluster) Put(nodeID int, key ShardKey, data []byte) error {
 	if !n.Online {
 		return fmt.Errorf("%w: node %d", ErrNodeDown, nodeID)
 	}
+	if err := c.injectFault(n, false, key); err != nil {
+		return err
+	}
 	cp := append([]byte(nil), data...)
 	c.mu.Lock()
 	epoch := c.epoch
@@ -147,7 +168,7 @@ func (c *Cluster) Put(nodeID int, key ShardKey, data []byte) error {
 	c.Puts++
 	c.mu.Unlock()
 	n.shards[key] = Shard{Key: key, Epoch: epoch, Data: cp}
-	n.BytesIn += int64(len(data))
+	n.bytesIn.Add(int64(len(data)))
 	return nil
 }
 
@@ -162,12 +183,15 @@ func (c *Cluster) Get(nodeID int, key ShardKey) (Shard, error) {
 	if !n.Online {
 		return Shard{}, fmt.Errorf("%w: node %d", ErrNodeDown, nodeID)
 	}
+	if err := c.injectFault(n, true, key); err != nil {
+		return Shard{}, err
+	}
 	sh, ok := n.shards[key]
 	if !ok {
 		return Shard{}, fmt.Errorf("%w: node %d %v", ErrNoSuchShard, nodeID, key)
 	}
 	out := Shard{Key: sh.Key, Epoch: sh.Epoch, Data: append([]byte(nil), sh.Data...)}
-	n.BytesOut += int64(len(sh.Data))
+	n.bytesOut.Add(int64(len(sh.Data)))
 	c.mu.Lock()
 	c.TotalBytesMoved += int64(len(sh.Data))
 	c.Gets++
@@ -209,7 +233,8 @@ func (c *Cluster) Snapshot(nodeID int) ([]Shard, error) {
 	return out, nil
 }
 
-// StoredBytes returns the total bytes at rest across all nodes.
+// StoredBytes returns the total bytes physically occupying nodes:
+// committed shards plus any still sitting in staging areas.
 func (c *Cluster) StoredBytes() int64 {
 	var total int64
 	for _, n := range c.nodes {
@@ -217,12 +242,16 @@ func (c *Cluster) StoredBytes() int64 {
 		for _, sh := range n.shards {
 			total += int64(len(sh.Data))
 		}
+		for _, st := range n.staged {
+			total += int64(len(st.sh.Data))
+		}
 		n.mu.Unlock()
 	}
 	return total
 }
 
-// ObjectBytes returns the bytes at rest attributable to one object.
+// ObjectBytes returns the bytes at rest attributable to one object,
+// committed and staged.
 func (c *Cluster) ObjectBytes(object string) int64 {
 	var total int64
 	for _, n := range c.nodes {
@@ -230,6 +259,11 @@ func (c *Cluster) ObjectBytes(object string) int64 {
 		for k, sh := range n.shards {
 			if k.Object == object {
 				total += int64(len(sh.Data))
+			}
+		}
+		for k, st := range n.staged {
+			if k.Object == object {
+				total += int64(len(st.sh.Data))
 			}
 		}
 		n.mu.Unlock()

@@ -137,8 +137,8 @@ func TestAccounting(t *testing.T) {
 		t.Fatalf("ops %d/%d, want 2/1", c.Puts, c.Gets)
 	}
 	n, _ := c.Node(0)
-	if n.BytesIn != 100 || n.BytesOut != 100 {
-		t.Fatalf("node accounting %d/%d", n.BytesIn, n.BytesOut)
+	if n.BytesIn() != 100 || n.BytesOut() != 100 {
+		t.Fatalf("node accounting %d/%d", n.BytesIn(), n.BytesOut())
 	}
 }
 

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Degraded reads: the survivable-storage read discipline (PASIS,
+// POTSHARDS) on the cluster substrate. A stripe read fans out a first
+// wave of probes, retries transient errors with bounded exponential
+// backoff, falls back to the remaining nodes as probes fail, and stops
+// as soon as the decoder's minimum is in hand — a k-of-n read instead of
+// a full-stripe read.
+
+// RetryPolicy bounds per-node retries on ErrTransient.
+type RetryPolicy struct {
+	// MaxAttempts counts the first try; values < 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the first backoff; it doubles per attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry suits the in-memory simulation: a few fast attempts.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 200 * time.Microsecond, MaxDelay: 5 * time.Millisecond}
+
+func (p RetryPolicy) normalize() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
+// RetryTransient runs op, retrying with bounded exponential backoff for
+// as long as it returns ErrTransient. Any other outcome — success,
+// ErrNodeDown, ErrNoSuchShard — is final and returned immediately.
+func RetryTransient(pol RetryPolicy, op func() error) error {
+	pol = pol.normalize()
+	delay := pol.BaseDelay
+	var err error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if err = op(); !errors.Is(err, ErrTransient) {
+			return err
+		}
+		if attempt < pol.MaxAttempts-1 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > pol.MaxDelay {
+				delay = pol.MaxDelay
+			}
+		}
+	}
+	return err
+}
+
+// GetRetry is Get with RetryTransient around it.
+func (c *Cluster) GetRetry(nodeID int, key ShardKey, pol RetryPolicy) (Shard, error) {
+	var sh Shard
+	err := RetryTransient(pol, func() error {
+		var e error
+		sh, e = c.Get(nodeID, key)
+		return e
+	})
+	return sh, err
+}
+
+// FetchStripe performs a degraded k-of-n stripe read of object across
+// nodes [0, n): shard i is fetched from node i (the one-shard-per-
+// provider placement). It fans out want plus up to two speculative
+// probes, retries each per pol, and pulls from the remaining nodes as
+// probes fail, stopping once want shards are in hand. valid, when
+// non-nil, vets each fetched shard (digest or commitment check); a shard
+// that fails vetting counts as unavailable and another node is tried.
+// Returns the shard slice indexed by node (nil = not fetched) and the
+// number fetched. want outside (0, n] means the full stripe.
+func (c *Cluster) FetchStripe(object string, n, want int, pol RetryPolicy, valid func(index int, data []byte) bool) ([][]byte, int) {
+	if n <= 0 {
+		return nil, 0
+	}
+	if want <= 0 || want > n {
+		want = n
+	}
+	probes := want + 2
+	if probes > n {
+		probes = n
+	}
+	out := make([][]byte, n)
+	var (
+		mu   sync.Mutex
+		next int
+		got  int
+	)
+	var wg sync.WaitGroup
+	wg.Add(probes)
+	for w := 0; w < probes; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if got >= want || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				sh, err := c.GetRetry(i, ShardKey{Object: object, Index: i}, pol)
+				if err != nil || (valid != nil && !valid(i, sh.Data)) {
+					continue
+				}
+				mu.Lock()
+				if out[i] == nil {
+					out[i] = sh.Data
+					got++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return out, got
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Scrubbing: detect missing and rotted shards and rewrite the stripe
+// through the same stage-then-commit path renewal uses. This promotes
+// what archivectl's scrub command did against its file store into the
+// library, where every Vault caller (and the fault-injection harness)
+// can run it against the cluster.
+
+// ShardDigests computes per-shard SHA-256 digests (zero digest for nil
+// shards) — the client-side health reference the vault keeps per object.
+func ShardDigests(shards [][]byte) [][sha256.Size]byte {
+	out := make([][sha256.Size]byte, len(shards))
+	for i, sh := range shards {
+		if sh != nil {
+			out[i] = sha256.Sum256(sh)
+		}
+	}
+	return out
+}
+
+// CheckShards classifies a fetched stripe against expected digests:
+// healthy (present and matching), missing (nil), corrupt (present but
+// mismatching). Indices beyond the digest list count as healthy when
+// present.
+func CheckShards(shards [][]byte, digests [][sha256.Size]byte) (healthy, missing, corrupt []int) {
+	for i, sh := range shards {
+		switch {
+		case sh == nil:
+			missing = append(missing, i)
+		case i < len(digests) && sha256.Sum256(sh) != digests[i]:
+			corrupt = append(corrupt, i)
+		default:
+			healthy = append(healthy, i)
+		}
+	}
+	return healthy, missing, corrupt
+}
+
+// ScrubReport describes one object's stripe health after a scrub pass.
+type ScrubReport struct {
+	Object string
+	// Healthy, Missing and Corrupt partition the stripe's node indices
+	// as found before any repair.
+	Healthy []int
+	Missing []int
+	Corrupt []int
+	// Repaired is true when the stripe was rewritten back to full
+	// health through the atomic write path.
+	Repaired bool
+}
+
+// Clean reports whether the stripe needed no repair.
+func (r *ScrubReport) Clean() bool { return len(r.Missing) == 0 && len(r.Corrupt) == 0 }
+
+// Scrub audits one object's stripe: it fetches every shard (retrying
+// transient faults), classifies each against the object's digests, and —
+// when damage is found — decodes from the healthy shards, verifies the
+// plaintext against the integrity chain, re-encodes with fresh
+// randomness and rewrites the whole stripe through the same
+// stage-then-commit path Put and RenewShares use. The report describes
+// the stripe as found; an error means the damage exceeded the encoding's
+// redundancy (or a node needed for the rewrite is down), in which case
+// the cluster is left exactly as it was.
+func (v *Vault) Scrub(id string) (*ScrubReport, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.scrubLocked(id)
+}
+
+// ScrubAll scrubs every object (in id order), returning one report per
+// object and the joined errors of the failures.
+func (v *Vault) ScrubAll() ([]*ScrubReport, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ids := make([]string, 0, len(v.objects))
+	for id := range v.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var reports []*ScrubReport
+	var errs []error
+	for _, id := range ids {
+		rep, err := v.scrubLocked(id)
+		if rep != nil {
+			reports = append(reports, rep)
+		}
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return reports, errors.Join(errs...)
+}
+
+func (v *Vault) scrubLocked(id string) (*ScrubReport, error) {
+	obj, ok := v.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	n, _ := v.Encoding.Shards()
+	shards, _ := v.Cluster.FetchStripe(id, n, n, v.retry, nil)
+	healthy, missing, corrupt := CheckShards(shards, obj.digests)
+	rep := &ScrubReport{Object: id, Healthy: healthy, Missing: missing, Corrupt: corrupt}
+	if rep.Clean() {
+		return rep, nil
+	}
+	// Decode from the healthy shards only, then confirm end to end
+	// against the integrity chain before trusting the repair source.
+	for _, i := range corrupt {
+		shards[i] = nil
+	}
+	data, err := v.Encoding.Decode(&Encoded{
+		Scheme:       obj.enc.Scheme,
+		PlainLen:     obj.enc.PlainLen,
+		Shards:       shards,
+		ClientSecret: obj.enc.ClientSecret,
+		PublicMeta:   obj.enc.PublicMeta,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("core: scrub %s: decode from %d healthy shards: %w", id, len(healthy), err)
+	}
+	if err := obj.chain.VerifyData(data); err != nil {
+		return rep, fmt.Errorf("core: scrub %s: integrity chain rejects recovered data: %w", id, err)
+	}
+	enc, err := v.Encoding.Encode(data, v.rnd)
+	if err != nil {
+		return rep, fmt.Errorf("core: scrub %s: re-encode: %w", id, err)
+	}
+	if err := v.disperseLocked(id, enc); err != nil {
+		return rep, fmt.Errorf("core: scrub %s: rewrite rolled back: %w", id, err)
+	}
+	obj.enc.ClientSecret = enc.ClientSecret
+	obj.enc.PublicMeta = enc.PublicMeta
+	obj.enc.PlainLen = enc.PlainLen
+	obj.digests = ShardDigests(enc.Shards)
+	rep.Repaired = true
+	return rep, nil
+}

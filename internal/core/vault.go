@@ -2,6 +2,7 @@ package core
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -30,16 +31,26 @@ type Vault struct {
 	Group         *group.Group
 	rnd           io.Reader
 
+	// retry bounds per-node retries on transient cluster faults.
+	retry cluster.RetryPolicy
+
 	// mu guards objects and the read-modify-write sequences on the
 	// per-object state. The CPU-heavy encode/decode work runs outside
 	// (Put) or under the read side (Get) of the lock.
 	mu      sync.RWMutex
 	objects map[string]*vaultObject
+	// stageSeq uniquifies stage tokens; guarded by mu (writers hold the
+	// write lock when dispersing).
+	stageSeq int
 }
 
 type vaultObject struct {
 	enc   *Encoded
 	chain *tstamp.Chain
+	// digests are per-shard SHA-256 digests of the current encoding,
+	// kept client-side: degraded reads use them to discard rotted shards
+	// and probe further nodes, and Scrub uses them to localise damage.
+	digests [][sha256.Size]byte
 }
 
 // Errors returned by Vault.
@@ -64,6 +75,12 @@ func WithGroup(g *group.Group) VaultOption {
 // WithRand injects the randomness source (tests).
 func WithRand(r io.Reader) VaultOption {
 	return func(v *Vault) { v.rnd = r }
+}
+
+// WithRetryPolicy bounds the vault's per-node retries on transient
+// cluster faults (cluster.DefaultRetry otherwise).
+func WithRetryPolicy(p cluster.RetryPolicy) VaultOption {
+	return func(v *Vault) { v.retry = p }
 }
 
 // WithParallelism bounds the goroutines each encode/decode may use, when
@@ -91,6 +108,7 @@ func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, er
 		IntegrityMode: tstamp.RefCommitment,
 		Group:         group.Default(),
 		rnd:           rand.Reader,
+		retry:         cluster.DefaultRetry,
 		objects:       make(map[string]*vaultObject),
 	}
 	for _, o := range opts {
@@ -126,13 +144,11 @@ func (v *Vault) Put(id string, data []byte) error {
 	if _, ok := v.objects[id]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, id)
 	}
-	for i, sh := range enc.Shards {
-		if sh == nil {
-			continue
-		}
-		if err := v.Cluster.Put(i, cluster.ShardKey{Object: id, Index: i}, sh); err != nil {
-			return err
-		}
+	// Stage-then-commit: a multi-shard write that fails partway aborts
+	// its stage and leaves no committed shards behind — no orphans
+	// inflating StoredBytes, no unregistered objects.
+	if err := v.disperseLocked(id, enc); err != nil {
+		return err
 	}
 	// The vault keeps client-side secrets and the chain; shards live on
 	// nodes only.
@@ -143,8 +159,35 @@ func (v *Vault) Put(id string, data []byte) error {
 			ClientSecret: enc.ClientSecret,
 			PublicMeta:   enc.PublicMeta,
 		},
-		chain: chain,
+		chain:   chain,
+		digests: ShardDigests(enc.Shards),
 	}
+	return nil
+}
+
+// disperseLocked writes one encoding's shards to the cluster atomically:
+// every shard is staged under a fresh stage token (retrying transient
+// faults per the vault's policy), then the whole set commits as a single
+// key swap. Any staging error aborts the stage, so the cluster never
+// holds a mix of old and new shards for the object. Callers hold the
+// write lock.
+func (v *Vault) disperseLocked(id string, enc *Encoded) error {
+	v.stageSeq++
+	stage := fmt.Sprintf("vault:%s#%d", id, v.stageSeq)
+	for i, sh := range enc.Shards {
+		if sh == nil {
+			continue
+		}
+		i, sh := i, sh
+		err := cluster.RetryTransient(v.retry, func() error {
+			return v.Cluster.PutStaged(i, stage, cluster.ShardKey{Object: id, Index: i}, sh)
+		})
+		if err != nil {
+			v.Cluster.AbortStage(stage)
+			return fmt.Errorf("core: disperse %s shard %d: %w", id, i, err)
+		}
+	}
+	v.Cluster.CommitStage(stage)
 	return nil
 }
 
@@ -155,21 +198,21 @@ func (v *Vault) Get(id string) ([]byte, error) {
 	return v.getLocked(id)
 }
 
-// getLocked is Get's body; callers hold v.mu (read or write).
+// getLocked is Get's body; callers hold v.mu (read or write). It is a
+// degraded k-of-n read: the stripe fetch fans out the decoder's minimum
+// plus speculative probes, retries transient faults with bounded
+// backoff, discards shards whose digest no longer matches (bit rot,
+// tampering) and pulls from further nodes instead, stopping as soon as
+// the minimum is in hand.
 func (v *Vault) getLocked(id string) ([]byte, error) {
 	obj, ok := v.objects[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	n, _ := v.Encoding.Shards()
-	shards := make([][]byte, n)
-	for i := 0; i < n; i++ {
-		sh, err := v.Cluster.Get(i, cluster.ShardKey{Object: id, Index: i})
-		if err != nil {
-			continue
-		}
-		shards[i] = sh.Data
-	}
+	n, min := v.Encoding.Shards()
+	shards, _ := v.Cluster.FetchStripe(id, n, min, v.retry, func(i int, data []byte) bool {
+		return i < len(obj.digests) && sha256.Sum256(data) == obj.digests[i]
+	})
 	enc := &Encoded{
 		Scheme:       obj.enc.Scheme,
 		PlainLen:     obj.enc.PlainLen,
@@ -203,7 +246,10 @@ func (v *Vault) RenewIntegrity(id string, scheme sig.Scheme) error {
 // every shard — the generic renewal that works for any encoding (at full
 // re-encode cost; sharing-specific systems do better, see pss). The whole
 // read-reencode-rewrite sequence holds the write lock: a concurrent Get
-// must never observe a half-rewritten shard set.
+// must never observe a half-rewritten shard set. The rewrite itself is
+// stage-then-commit: a node failing mid-renewal aborts the stage and the
+// cluster keeps the old encoding intact, so the object never ends up
+// with mixed-epoch shards under a stale ClientSecret.
 func (v *Vault) RenewShares(id string) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -216,17 +262,13 @@ func (v *Vault) RenewShares(id string) error {
 	if err != nil {
 		return err
 	}
-	for i, sh := range enc.Shards {
-		if sh == nil {
-			continue
-		}
-		if err := v.Cluster.Put(i, cluster.ShardKey{Object: id, Index: i}, sh); err != nil {
-			return err
-		}
+	if err := v.disperseLocked(id, enc); err != nil {
+		return fmt.Errorf("core: renewal of %s rolled back: %w", id, err)
 	}
 	obj.enc.ClientSecret = enc.ClientSecret
 	obj.enc.PublicMeta = enc.PublicMeta
 	obj.enc.PlainLen = enc.PlainLen
+	obj.digests = ShardDigests(enc.Shards)
 	return nil
 }
 

@@ -91,7 +91,7 @@ func (s *CloudAES) Retrieve(ref *Ref) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownRef, ref.Object)
 	}
-	shards := getShards(s.Cluster, ref.Object, s.Code.TotalShards())
+	shards := getShardsDegraded(s.Cluster, ref.Object, s.Code.TotalShards(), s.Code.DataShards())
 	if err := s.Code.Reconstruct(shards); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRetrieval, err)
 	}

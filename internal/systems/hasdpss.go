@@ -166,7 +166,7 @@ func (s *HasDPSS) Retrieve(ref *Ref) ([]byte, error) {
 	}
 	shares := make([]vss.Share, 0, cm.T)
 	for i := 0; i < cm.N && len(shares) < cm.T; i++ {
-		sh, err := s.Cluster.Get(i, cluster.ShardKey{Object: ref.Object, Index: i})
+		sh, err := s.Cluster.GetRetry(i, cluster.ShardKey{Object: ref.Object, Index: i}, cluster.DefaultRetry)
 		if err != nil {
 			continue
 		}

@@ -133,15 +133,17 @@ func (p *PASIS) Store(object string, data []byte, rnd io.Reader) (*Ref, error) {
 func (p *PASIS) Retrieve(ref *Ref) ([]byte, error) {
 	switch p.Mode {
 	case PASISReplication:
-		for i := 0; i < p.N; i++ {
-			sh, err := p.Cluster.Get(i, cluster.ShardKey{Object: ref.Object, Index: i})
-			if err == nil {
-				return sh.Data, nil
+		// One good replica suffices; the degraded read retries flaky
+		// providers before falling back to the next.
+		shards := getShardsDegraded(p.Cluster, ref.Object, p.N, 1)
+		for _, sh := range shards {
+			if sh != nil {
+				return sh, nil
 			}
 		}
 		return nil, fmt.Errorf("%w: no replica reachable", ErrRetrieval)
 	case PASISErasure:
-		shards := getShards(p.Cluster, ref.Object, p.code.TotalShards())
+		shards := getShardsDegraded(p.Cluster, ref.Object, p.code.TotalShards(), p.code.DataShards())
 		if err := p.code.Reconstruct(shards); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrRetrieval, err)
 		}

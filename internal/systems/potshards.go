@@ -54,9 +54,10 @@ func (s *POTSHARDS) Store(object string, data []byte, rnd io.Reader) (*Ref, erro
 	return &Ref{System: s.Name(), Object: object, PlainLen: len(data)}, nil
 }
 
-// Retrieve implements Archive: any t online providers suffice.
+// Retrieve implements Archive: any t online providers suffice, and the
+// degraded read stops probing once it has them.
 func (s *POTSHARDS) Retrieve(ref *Ref) ([]byte, error) {
-	shards := getShards(s.Cluster, ref.Object, s.N)
+	shards := getShardsDegraded(s.Cluster, ref.Object, s.N, s.T)
 	shares := make([]shamir.Share, 0, s.T)
 	for i, data := range shards {
 		if data == nil {

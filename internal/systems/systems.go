@@ -104,17 +104,18 @@ func putShards(c *cluster.Cluster, object string, shards [][]byte) error {
 	return nil
 }
 
-// getShards fetches up to want shards (nil for unavailable ones), indexed
-// by shard number, total slots.
+// getShards fetches the full stripe (nil for unavailable shards),
+// indexed by shard number, retrying transient faults per node.
 func getShards(c *cluster.Cluster, object string, total int) [][]byte {
-	out := make([][]byte, total)
-	for i := 0; i < total; i++ {
-		sh, err := c.Get(i, cluster.ShardKey{Object: object, Index: i})
-		if err != nil {
-			continue
-		}
-		out[i] = sh.Data
-	}
+	return getShardsDegraded(c, object, total, total)
+}
+
+// getShardsDegraded is the PASIS/POTSHARDS-style k-of-n read shared by
+// the survivable systems: fan out the decoder's minimum plus speculative
+// probes, retry transients with bounded backoff, fall back to remaining
+// providers, and stop once want shards are in hand.
+func getShardsDegraded(c *cluster.Cluster, object string, total, want int) [][]byte {
+	out, _ := c.FetchStripe(object, total, want, cluster.DefaultRetry, nil)
 	return out
 }
 

@@ -64,20 +64,20 @@ func (s *VSRArchive) Store(object string, data []byte, rnd io.Reader) (*Ref, err
 }
 
 // Retrieve implements Archive, verifying each fetched share against its
-// commitment before combining — a corrupt provider is identified.
+// commitment before combining — a corrupt provider is identified during
+// the degraded read itself, and the fetch moves on to another provider
+// rather than failing the stripe.
 func (s *VSRArchive) Retrieve(ref *Ref) ([]byte, error) {
 	comms, ok := s.commitments[ref.Object]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownRef, ref.Object)
 	}
-	shards := getShards(s.Cluster, ref.Object, s.N)
+	shards, _ := s.Cluster.FetchStripe(ref.Object, s.N, s.T, cluster.DefaultRetry,
+		func(i int, data []byte) bool { return sha256.Sum256(data) == comms[i] })
 	shares := make([]shamir.Share, 0, s.T)
 	for i, data := range shards {
 		if data == nil {
 			continue
-		}
-		if sha256.Sum256(data) != comms[i] {
-			continue // provider returned garbage; skip it
 		}
 		shares = append(shares, shamir.Share{X: byte(i + 1), Threshold: byte(s.T), Payload: data})
 		if len(shares) == s.T {
