@@ -9,6 +9,7 @@
 //	archivectl get   -manifest ./store/secret.pdf.manifest.json -out recovered.pdf
 //	archivectl info  -manifest ./store/secret.pdf.manifest.json
 //	archivectl scrub -manifest ./store/secret.pdf.manifest.json [-repair]
+//	archivectl stats -encoding erasure -n 8 -t 4 -objects 32 [-offline 2] [-transient 0.2]
 //
 // Encodings: replication, erasure, aes, cascade, entropic, aont, shamir,
 // packed, lrss. After put, delete up to n−min node directories and get
@@ -57,13 +58,15 @@ func main() {
 		cmdInfo(os.Args[2:])
 	case "scrub":
 		cmdScrub(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: archivectl put|get|info|scrub [flags]")
+	fmt.Fprintln(os.Stderr, "usage: archivectl put|get|info|scrub|stats [flags]")
 	os.Exit(2)
 }
 

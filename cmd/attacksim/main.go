@@ -25,6 +25,7 @@ import (
 	"securearchive/internal/cluster"
 	"securearchive/internal/group"
 	"securearchive/internal/lrss"
+	"securearchive/internal/obs"
 	"securearchive/internal/shamir"
 	"securearchive/internal/systems"
 )
@@ -270,16 +271,28 @@ func runFaults(epochs int, seed int64, transient float64, offline int, corrupt f
 	}
 	c.SetFaultPlan(plan)
 	names := []string{"cloud", "archivesafe", "aontrs", "potshards", "vsr", "lincos", "hasdpss"}
-	ok := map[string]int{}
-	bad := map[string]int{}
+	// The availability table is backed by the obs registry rather than
+	// ad-hoc tallies: the campaign increments faults.<name>.read.* and the
+	// table reads the counters back, so `archivectl stats`-style snapshots
+	// of the same run agree with what is printed here.
+	reg := obs.Default()
+	retryBase := reg.Counter("cluster.retry.attempts").Load()
+	discardBase := reg.Counter("cluster.fetch.discarded").Load()
+	degradedBase := reg.Counter("cluster.fetch.degraded").Load()
+	shortBase := reg.Counter("cluster.fetch.short").Load()
+	outcome := func(name, kind string) *obs.Counter {
+		return reg.Counter("faults." + name + ".read." + kind)
+	}
 	for e := 0; e < epochs; e++ {
 		for _, name := range names {
 			got, err := sys[name].Retrieve(refs[name])
 			switch {
 			case err == nil && string(got) == string(dataFor(name)):
-				ok[name]++
+				outcome(name, "ok").Inc()
 			case err == nil:
-				bad[name]++ // read "succeeded" but returned rotted bytes
+				outcome(name, "corrupt").Inc() // rotted bytes returned
+			default:
+				outcome(name, "failed").Inc()
 			}
 		}
 		c.AdvanceEpoch()
@@ -288,11 +301,18 @@ func runFaults(epochs int, seed int64, transient float64, offline int, corrupt f
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "system\tgood reads\tcorrupted reads\tfailed reads\tavailability\n")
 	for _, name := range names {
-		failed := epochs - ok[name] - bad[name]
+		ok := outcome(name, "ok").Load()
+		bad := outcome(name, "corrupt").Load()
+		failed := outcome(name, "failed").Load()
 		fmt.Fprintf(w, "%s\t%d/%d\t%d\t%d\t%.0f%%\n",
-			sys[name].Name(), ok[name], epochs, bad[name], failed, 100*float64(ok[name])/float64(epochs))
+			sys[name].Name(), ok, epochs, bad, failed, 100*float64(ok)/float64(epochs))
 	}
 	w.Flush()
+	fmt.Printf("read-path telemetry: %d transient retries, %d shards discarded by validation, %d degraded stripe reads, %d short of threshold\n",
+		reg.Counter("cluster.retry.attempts").Load()-retryBase,
+		reg.Counter("cluster.fetch.discarded").Load()-discardBase,
+		reg.Counter("cluster.fetch.degraded").Load()-degradedBase,
+		reg.Counter("cluster.fetch.short").Load()-shortBase)
 	fmt.Println()
 }
 

@@ -7,11 +7,16 @@
 //
 // Usage:
 //
-//	papereval [-figure1] [-table1] [-reencrypt] [-renewal] [-advantage] [-kernels] [-all]
+//	papereval [-figure1] [-table1] [-reencrypt] [-renewal] [-advantage] [-kernels] [-obs] [-all]
 //
 // -kernels measures the GF(256) kernel and Reed-Solomon pipeline
 // throughput on the local machine and re-derives the §3.2 campaign
 // arithmetic from it, writing the results to -bench-out.
+//
+// -obs drives an instrumented vault workload, derives the vault's read
+// bandwidth purely from the obs metrics registry, and re-derives the
+// §3.2 campaign arithmetic from that measured bandwidth, writing the
+// results (including the full metrics snapshot) to -obs-out.
 package main
 
 import (
@@ -38,11 +43,13 @@ func main() {
 	adv := flag.Bool("advantage", false, "measure Definition 2.1/2.2 distinguishing advantages")
 	kernels := flag.Bool("kernels", false, "measure GF(256)/RS kernel throughput and re-derive §3.2 from it")
 	benchOut := flag.String("bench-out", "BENCH_kernels.json", "output path for -kernels results")
+	obsBench := flag.Bool("obs", false, "measure vault read bandwidth via the obs registry and re-derive §3.2 from it")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for -obs results")
 	all := flag.Bool("all", false, "run everything")
 	objKiB := flag.Int("obj", 256, "object size in KiB for measurements")
 	flag.Parse()
 
-	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels {
+	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench {
 		*all = true
 	}
 	ran := false
@@ -68,6 +75,10 @@ func main() {
 	}
 	if *kernels {
 		runKernels(*benchOut)
+		ran = true
+	}
+	if *obsBench {
+		runObs(*obsOut, *objKiB)
 		ran = true
 	}
 	if !ran {

@@ -16,6 +16,7 @@ import (
 
 	"securearchive/internal/cluster"
 	"securearchive/internal/core"
+	"securearchive/internal/obs"
 )
 
 func main() {
@@ -100,4 +101,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("renewal succeeds on the healed cluster")
+
+	// Epilogue: the whole story is visible in the metrics registry the
+	// vault and cluster recorded into along the way — retries, discarded
+	// shards with per-node attribution, degraded reads, scrub repairs.
+	snap := obs.Default().Snapshot()
+	fmt.Println("\n--- telemetry of the run (obs.Default().Snapshot()) ---")
+	for _, name := range []string{
+		"cluster.retry.attempts",
+		"cluster.fetch.probes",
+		"cluster.fetch.degraded",
+		"cluster.fetch.discarded",
+		"cluster.fetch.discarded.node05",
+		"cluster.stage.abort",
+		"cluster.stage.commit",
+		"vault.read.discarded",
+		"vault.scrub.repairs",
+	} {
+		fmt.Printf("%-32s %d\n", name, snap.Counters[name])
+	}
+	if h, ok := snap.Histograms["vault.get.ok"]; ok {
+		fmt.Printf("%-32s p50=%.0fµs p99=%.0fµs over %d reads\n", "vault.get.ok", h.P50/1e3, h.P99/1e3, h.Count)
+	}
 }

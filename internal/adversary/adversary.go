@@ -21,6 +21,7 @@ package adversary
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"securearchive/internal/cascade"
 	"securearchive/internal/cluster"
@@ -71,10 +72,18 @@ type HarvestedShard struct {
 	HarvestEpoch int
 }
 
-// Mobile is the mobile adversary.
+// Mobile is the mobile adversary. It is safe for concurrent use: the
+// rng is a locally seeded *rand.Rand (never the shared math/rand global
+// source, which would let unrelated goroutines perturb the draw sequence
+// and break the run-to-run determinism that seeded campaigns rely on),
+// and mu guards it together with the harvest state. Determinism holds
+// for a fixed sequence of calls; concurrent callers interleave at the
+// granularity of whole operations.
 type Mobile struct {
 	Budget int // max corruptions per epoch
-	rng    *rand.Rand
+
+	mu  sync.Mutex
+	rng *rand.Rand
 
 	// vault holds everything ever harvested, keyed by object.
 	vault map[string][]HarvestedShard
@@ -101,6 +110,8 @@ func NewMobile(budget int, seed int64) *Mobile {
 // Budget in one epoch are refused (return false).
 func (m *Mobile) Corrupt(c *cluster.Cluster, nodeID int) bool {
 	epoch := c.Epoch()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if epoch != m.lastEpoch {
 		m.lastEpoch = epoch
 		m.usedBudget = 0
@@ -123,7 +134,9 @@ func (m *Mobile) Corrupt(c *cluster.Cluster, nodeID int) bool {
 // CorruptRandom corrupts up to Budget distinct random nodes this epoch and
 // returns how many succeeded.
 func (m *Mobile) CorruptRandom(c *cluster.Cluster) int {
+	m.mu.Lock()
 	perm := m.rng.Perm(c.Size())
+	m.mu.Unlock()
 	count := 0
 	for _, id := range perm {
 		if m.usedBudgetFor(c) >= m.Budget {
@@ -137,7 +150,10 @@ func (m *Mobile) CorruptRandom(c *cluster.Cluster) int {
 }
 
 func (m *Mobile) usedBudgetFor(c *cluster.Cluster) int {
-	if c.Epoch() != m.lastEpoch {
+	epoch := c.Epoch()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if epoch != m.lastEpoch {
 		return 0
 	}
 	return m.usedBudget
@@ -145,7 +161,9 @@ func (m *Mobile) usedBudgetFor(c *cluster.Cluster) int {
 
 // Harvest returns every harvested shard of the object, oldest first.
 func (m *Mobile) Harvest(object string) []HarvestedShard {
+	m.mu.Lock()
 	out := append([]HarvestedShard(nil), m.vault[object]...)
+	m.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].HarvestEpoch != out[j].HarvestEpoch {
 			return out[i].HarvestEpoch < out[j].HarvestEpoch
@@ -160,6 +178,8 @@ func (m *Mobile) Harvest(object string) []HarvestedShard {
 // epoch — the only combination useful against a properly renewing
 // secret-shared store. The map is write-epoch → distinct indices held.
 func (m *Mobile) DistinctShards(object string) map[int]map[int][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make(map[int]map[int][]byte)
 	for _, h := range m.vault[object] {
 		we := h.Shard.Epoch
@@ -189,6 +209,8 @@ func (m *Mobile) MaxSameEpochShards(object string) int {
 // across ALL epochs — what the adversary can combine when the victim
 // never renews.
 func (m *Mobile) MaxAnyEpochShards(object string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	seen := make(map[int]bool)
 	for _, h := range m.vault[object] {
 		seen[h.Shard.Key.Index] = true
@@ -197,10 +219,16 @@ func (m *Mobile) MaxAnyEpochShards(object string) int {
 }
 
 // NodesVisited returns how many distinct nodes have ever been corrupted.
-func (m *Mobile) NodesVisited() int { return len(m.visited) }
+func (m *Mobile) NodesVisited() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.visited)
+}
 
 // VaultObjects lists the objects with at least one harvested shard.
 func (m *Mobile) VaultObjects() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]string, 0, len(m.vault))
 	for o := range m.vault {
 		out = append(out, o)

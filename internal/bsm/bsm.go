@@ -95,6 +95,9 @@ const amplificationMarginBytes = 8 // 64 bits → ε ≤ 2^-32
 
 // Exchange runs one key agreement. Both honest parties compute the same
 // key; the result records the adversary's knowledge.
+// Each call owns a locally seeded *rand.Rand — never the shared
+// math/rand global source — so concurrent exchanges cannot perturb each
+// other's draw sequences and a given seed always replays the same run.
 func Exchange(p Params, seed int64) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -22,6 +22,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"securearchive/internal/obs"
 )
 
 // Errors returned by this package.
@@ -85,6 +88,10 @@ type Cluster struct {
 	TotalBytesMoved int64
 	Puts            int
 	Gets            int
+
+	// metrics mirrors the accounting above into the obs registry; see
+	// metrics.go and UseRegistry.
+	metrics *clusterMetrics
 }
 
 // DefaultRegions is a plausible geo-dispersal for examples and tests.
@@ -105,6 +112,7 @@ func New(n int, regions []string) *Cluster {
 			shards: make(map[ShardKey]Shard),
 		})
 	}
+	c.metrics = newClusterMetrics(obs.Default(), n)
 	return c
 }
 
@@ -149,6 +157,20 @@ func (c *Cluster) SetOnline(id int, online bool) error {
 // Put stores a shard on a node at the current epoch, replacing any
 // previous version of the same key.
 func (c *Cluster) Put(nodeID int, key ShardKey, data []byte) error {
+	start := time.Now()
+	err := c.put(nodeID, key, data)
+	m := c.metrics
+	m.putNs.Observe(float64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		m.putErr.Inc()
+		return err
+	}
+	m.putOK.Inc()
+	m.bytesIn.Add(int64(len(data)))
+	return nil
+}
+
+func (c *Cluster) put(nodeID int, key ShardKey, data []byte) error {
 	n, err := c.Node(nodeID)
 	if err != nil {
 		return err
@@ -174,6 +196,20 @@ func (c *Cluster) Put(nodeID int, key ShardKey, data []byte) error {
 
 // Get fetches a shard from a node.
 func (c *Cluster) Get(nodeID int, key ShardKey) (Shard, error) {
+	start := time.Now()
+	sh, err := c.get(nodeID, key)
+	m := c.metrics
+	m.getNs.Observe(float64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		m.getErr.Inc()
+		return Shard{}, err
+	}
+	m.getOK.Inc()
+	m.bytesOut.Add(int64(len(sh.Data)))
+	return sh, nil
+}
+
+func (c *Cluster) get(nodeID int, key ShardKey) (Shard, error) {
 	n, err := c.Node(nodeID)
 	if err != nil {
 		return Shard{}, err

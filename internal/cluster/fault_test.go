@@ -212,26 +212,32 @@ func TestFetchStripeDegraded(t *testing.T) {
 	for _, id := range []int{0, 2, 4, 6} {
 		c.SetOnline(id, false)
 	}
-	shards, got := c.FetchStripe("o", 8, 4, DefaultRetry, nil)
-	if got < 4 {
-		t.Fatalf("degraded read got %d/4", got)
+	res := c.FetchStripe("o", 8, 4, DefaultRetry, nil)
+	if res.Fetched < 4 {
+		t.Fatalf("degraded read got %d/4", res.Fetched)
 	}
-	for i, sh := range shards {
+	if !res.Degraded() {
+		t.Fatal("read through offline nodes not reported degraded")
+	}
+	for i, sh := range res.Shards {
 		if sh != nil && sh[0] != byte(i) {
 			t.Fatalf("shard %d misindexed", i)
 		}
 	}
-	// Validator rejections fall back to other nodes.
+	// Validator rejections fall back to other nodes and are attributed.
 	for _, id := range []int{0, 2, 4, 6} {
 		c.SetOnline(id, true)
 	}
 	rejected := map[int]bool{1: true, 3: true}
-	shards, got = c.FetchStripe("o", 8, 4, DefaultRetry, func(i int, _ []byte) bool { return !rejected[i] })
-	if got < 4 {
-		t.Fatalf("validator fallback got %d/4", got)
+	res = c.FetchStripe("o", 8, 4, DefaultRetry, func(i int, _ []byte) bool { return !rejected[i] })
+	if res.Fetched < 4 {
+		t.Fatalf("validator fallback got %d/4", res.Fetched)
 	}
-	if shards[1] != nil || shards[3] != nil {
+	if res.Shards[1] != nil || res.Shards[3] != nil {
 		t.Fatal("rejected shards returned")
+	}
+	if len(res.Discarded) != 2 || res.Discarded[0] != 1 || res.Discarded[1] != 3 {
+		t.Fatalf("discarded = %v, want [1 3]", res.Discarded)
 	}
 }
 
@@ -241,9 +247,9 @@ func TestFetchStripeUnderTransients(t *testing.T) {
 		c.Put(i, ShardKey{Object: "o", Index: i}, []byte{byte(i)})
 	}
 	c.SetFaultPlan(&FaultPlan{Seed: 11, Default: NodeFaults{TransientProb: 0.4}})
-	_, got := c.FetchStripe("o", 6, 3, DefaultRetry, nil)
-	if got < 3 {
-		t.Fatalf("retrying stripe read got %d/3 under 40%% transients", got)
+	res := c.FetchStripe("o", 6, 3, DefaultRetry, nil)
+	if res.Fetched < 3 {
+		t.Fatalf("retrying stripe read got %d/3 under 40%% transients", res.Fetched)
 	}
 }
 

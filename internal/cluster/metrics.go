@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+
+	"securearchive/internal/obs"
+)
+
+// Metrics: every data-path operation on the cluster is counted and
+// timed through the obs registry — per-op outcomes, bytes moved, staged
+// writes, stripe-read probes and the validation discards that the
+// degraded read routes around. The metrics are resolved once (at New or
+// UseRegistry) so the hot path pays only atomic adds.
+
+type clusterMetrics struct {
+	reg *obs.Registry
+
+	putOK, putErr       *obs.Counter
+	getOK, getErr       *obs.Counter
+	stagedOK, stagedErr *obs.Counter
+	commits, aborts     *obs.Counter
+	bytesIn, bytesOut   *obs.Counter
+
+	// Stripe-read telemetry (FetchStripe).
+	probes    *obs.Counter // node fetches launched
+	discards  *obs.Counter // shards dropped by the caller's validator
+	degraded  *obs.Counter // stripe reads that routed around ≥1 failure
+	full      *obs.Counter // stripe reads with no failures at all
+	short     *obs.Counter // stripe reads that ended below want
+	discardBy []*obs.Counter
+
+	putNs, getNs, fetchNs *obs.Histogram
+}
+
+func newClusterMetrics(reg *obs.Registry, nodes int) *clusterMetrics {
+	m := &clusterMetrics{
+		reg:       reg,
+		putOK:     reg.Counter("cluster.put.ok"),
+		putErr:    reg.Counter("cluster.put.err"),
+		getOK:     reg.Counter("cluster.get.ok"),
+		getErr:    reg.Counter("cluster.get.err"),
+		stagedOK:  reg.Counter("cluster.staged.ok"),
+		stagedErr: reg.Counter("cluster.staged.err"),
+		commits:   reg.Counter("cluster.stage.commit"),
+		aborts:    reg.Counter("cluster.stage.abort"),
+		bytesIn:   reg.Counter("cluster.bytes.in"),
+		bytesOut:  reg.Counter("cluster.bytes.out"),
+		probes:    reg.Counter("cluster.fetch.probes"),
+		discards:  reg.Counter("cluster.fetch.discarded"),
+		degraded:  reg.Counter("cluster.fetch.degraded"),
+		full:      reg.Counter("cluster.fetch.full"),
+		short:     reg.Counter("cluster.fetch.short"),
+		putNs:     reg.Histogram("cluster.put.ns", obs.LatencyBuckets()),
+		getNs:     reg.Histogram("cluster.get.ns", obs.LatencyBuckets()),
+		fetchNs:   reg.Histogram("cluster.fetch.ns", obs.LatencyBuckets()),
+	}
+	m.discardBy = make([]*obs.Counter, nodes)
+	for i := range m.discardBy {
+		m.discardBy[i] = reg.Counter(fmt.Sprintf("cluster.fetch.discarded.node%02d", i))
+	}
+	return m
+}
+
+// discardedAt attributes one validation discard to a node.
+func (m *clusterMetrics) discardedAt(node int) {
+	m.discards.Inc()
+	if node >= 0 && node < len(m.discardBy) {
+		m.discardBy[node].Inc()
+	}
+}
+
+// UseRegistry re-resolves the cluster's metrics from the given registry
+// (obs.Default() at New). Call it before traffic flows — typically right
+// after New — so an isolated measurement run (papereval, tests) sees
+// exactly its own numbers.
+func (c *Cluster) UseRegistry(reg *obs.Registry) {
+	c.metrics = newClusterMetrics(reg, len(c.nodes))
+}

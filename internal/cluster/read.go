@@ -2,8 +2,13 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"securearchive/internal/obs"
 )
 
 // Degraded reads: the survivable-storage read discipline (PASIS,
@@ -12,6 +17,10 @@ import (
 // backoff, falls back to the remaining nodes as probes fail, and stops
 // as soon as the decoder's minimum is in hand — a k-of-n read instead of
 // a full-stripe read.
+
+// ErrShardInvalid marks a fetched shard rejected by the caller's
+// validator (digest or commitment mismatch — bit rot or tampering).
+var ErrShardInvalid = errors.New("cluster: shard failed validation")
 
 // RetryPolicy bounds per-node retries on ErrTransient.
 type RetryPolicy struct {
@@ -39,18 +48,41 @@ func (p RetryPolicy) normalize() RetryPolicy {
 	return p
 }
 
+// Retry telemetry lands in the default registry regardless of which
+// registry a cluster uses: RetryTransient is a package-level helper with
+// no cluster in scope. Resolved lazily so merely importing the package
+// creates no metrics.
+var (
+	retryOnce      sync.Once
+	retryAttempts  *obs.Counter
+	retryBackoffNs *obs.Counter
+)
+
+func retryMetrics() (*obs.Counter, *obs.Counter) {
+	retryOnce.Do(func() {
+		retryAttempts = obs.Default().Counter("cluster.retry.attempts")
+		retryBackoffNs = obs.Default().Counter("cluster.retry.backoff_ns")
+	})
+	return retryAttempts, retryBackoffNs
+}
+
 // RetryTransient runs op, retrying with bounded exponential backoff for
 // as long as it returns ErrTransient. Any other outcome — success,
-// ErrNodeDown, ErrNoSuchShard — is final and returned immediately.
+// ErrNodeDown, ErrNoSuchShard — is final and returned immediately. Every
+// re-attempt bumps cluster.retry.attempts and every sleep adds to
+// cluster.retry.backoff_ns in the default registry.
 func RetryTransient(pol RetryPolicy, op func() error) error {
 	pol = pol.normalize()
 	delay := pol.BaseDelay
+	attempts, backoff := retryMetrics()
 	var err error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if err = op(); !errors.Is(err, ErrTransient) {
 			return err
 		}
 		if attempt < pol.MaxAttempts-1 {
+			attempts.Inc()
+			backoff.Add(delay.Nanoseconds())
 			time.Sleep(delay)
 			delay *= 2
 			if delay > pol.MaxDelay {
@@ -72,31 +104,96 @@ func (c *Cluster) GetRetry(nodeID int, key ShardKey, pol RetryPolicy) (Shard, er
 	return sh, err
 }
 
+// NodeFailure records why one node contributed nothing to a stripe read.
+type NodeFailure struct {
+	Node int
+	Err  error
+}
+
+// cause compresses a fetch error into the one-word form used in
+// failure summaries ("node 4: corrupt, node 5: down").
+func (f NodeFailure) cause() string {
+	switch {
+	case errors.Is(f.Err, ErrShardInvalid):
+		return "corrupt"
+	case errors.Is(f.Err, ErrNodeDown):
+		return "down"
+	case errors.Is(f.Err, ErrNoSuchShard):
+		return "missing"
+	case errors.Is(f.Err, ErrTransient):
+		return "transient"
+	case f.Err == nil:
+		return "ok"
+	default:
+		return f.Err.Error()
+	}
+}
+
+// StripeResult is what a stripe read actually did — the record that
+// makes degraded reads visible to callers instead of silently feeding
+// an under-populated stripe to a decoder. Fetched below the requested
+// minimum means the stripe is NOT decodable; callers must check it.
+type StripeResult struct {
+	// Shards is the stripe indexed by node; nil = not fetched.
+	Shards [][]byte
+	// Fetched is the number of validated shards in Shards.
+	Fetched int
+	// Discarded lists node indices whose shard arrived but failed the
+	// caller's validator (bit rot, tampering) — prime scrub candidates.
+	Discarded []int
+	// Failures records, per node that was probed and yielded nothing,
+	// the terminal error (including ErrShardInvalid for discards).
+	Failures []NodeFailure
+}
+
+// Degraded reports whether the read had to route around any failure or
+// discard (even if it still gathered enough shards).
+func (r *StripeResult) Degraded() bool { return len(r.Failures) > 0 }
+
+// FailureSummary renders the per-node causes, e.g.
+// "node 4: corrupt, node 5: down". Empty when nothing failed.
+func (r *StripeResult) FailureSummary() string {
+	if len(r.Failures) == 0 {
+		return ""
+	}
+	parts := make([]string, len(r.Failures))
+	for i, f := range r.Failures {
+		parts[i] = fmt.Sprintf("node %d: %s", f.Node, f.cause())
+	}
+	return strings.Join(parts, ", ")
+}
+
 // FetchStripe performs a degraded k-of-n stripe read of object across
 // nodes [0, n): shard i is fetched from node i (the one-shard-per-
 // provider placement). It fans out want plus up to two speculative
 // probes, retries each per pol, and pulls from the remaining nodes as
 // probes fail, stopping once want shards are in hand. valid, when
 // non-nil, vets each fetched shard (digest or commitment check); a shard
-// that fails vetting counts as unavailable and another node is tried.
-// Returns the shard slice indexed by node (nil = not fetched) and the
-// number fetched. want outside (0, n] means the full stripe.
-func (c *Cluster) FetchStripe(object string, n, want int, pol RetryPolicy, valid func(index int, data []byte) bool) ([][]byte, int) {
+// that fails vetting is discarded, attributed to its node, and another
+// node is tried. want outside (0, n] means the full stripe.
+//
+// The result records exactly what happened: which shards arrived
+// (indexed by node), how many, which were discarded by validation, and
+// the per-node cause of every miss. Callers deciding whether to decode
+// MUST compare result.Fetched against their threshold.
+func (c *Cluster) FetchStripe(object string, n, want int, pol RetryPolicy, valid func(index int, data []byte) bool) *StripeResult {
+	res := &StripeResult{}
 	if n <= 0 {
-		return nil, 0
+		return res
 	}
 	if want <= 0 || want > n {
 		want = n
 	}
+	start := time.Now()
+	m := c.metrics
 	probes := want + 2
 	if probes > n {
 		probes = n
 	}
-	out := make([][]byte, n)
+	res.Shards = make([][]byte, n)
 	var (
 		mu   sync.Mutex
 		next int
-		got  int
 	)
 	var wg sync.WaitGroup
 	wg.Add(probes)
@@ -105,26 +202,45 @@ func (c *Cluster) FetchStripe(object string, n, want int, pol RetryPolicy, valid
 			defer wg.Done()
 			for {
 				mu.Lock()
-				if got >= want || next >= n {
+				if res.Fetched >= want || next >= n {
 					mu.Unlock()
 					return
 				}
 				i := next
 				next++
 				mu.Unlock()
+				m.probes.Inc()
 				sh, err := c.GetRetry(i, ShardKey{Object: object, Index: i}, pol)
-				if err != nil || (valid != nil && !valid(i, sh.Data)) {
-					continue
+				if err == nil && valid != nil && !valid(i, sh.Data) {
+					err = fmt.Errorf("%w: node %d %s[%d]", ErrShardInvalid, i, object, i)
+					m.discardedAt(i)
 				}
 				mu.Lock()
-				if out[i] == nil {
-					out[i] = sh.Data
-					got++
+				switch {
+				case err != nil:
+					res.Failures = append(res.Failures, NodeFailure{Node: i, Err: err})
+					if errors.Is(err, ErrShardInvalid) {
+						res.Discarded = append(res.Discarded, i)
+					}
+				case res.Shards[i] == nil:
+					res.Shards[i] = sh.Data
+					res.Fetched++
 				}
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-	return out, got
+	sort.Ints(res.Discarded)
+	sort.Slice(res.Failures, func(a, b int) bool { return res.Failures[a].Node < res.Failures[b].Node })
+	m.fetchNs.Observe(float64(time.Since(start).Nanoseconds()))
+	switch {
+	case res.Fetched < want:
+		m.short.Inc()
+	case res.Degraded():
+		m.degraded.Inc()
+	default:
+		m.full.Inc()
+	}
+	return res
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 )
 
 // Staged writes: the cluster-side half of the vault's stage-then-commit
@@ -26,6 +27,20 @@ type stagedShard struct {
 // already held by a different token returns ErrDuplicateKey, refusing to
 // commit over a foreign stage.
 func (c *Cluster) PutStaged(nodeID int, stage string, key ShardKey, data []byte) error {
+	start := time.Now()
+	err := c.putStaged(nodeID, stage, key, data)
+	m := c.metrics
+	m.putNs.Observe(float64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		m.stagedErr.Inc()
+		return err
+	}
+	m.stagedOK.Inc()
+	m.bytesIn.Add(int64(len(data)))
+	return nil
+}
+
+func (c *Cluster) putStaged(nodeID int, stage string, key ShardKey, data []byte) error {
 	n, err := c.Node(nodeID)
 	if err != nil {
 		return err
@@ -62,6 +77,7 @@ func (c *Cluster) PutStaged(nodeID int, stage string, key ShardKey, data []byte)
 // staging, and no fault plan applies. Returns the number of shards
 // committed.
 func (c *Cluster) CommitStage(stage string) int {
+	c.metrics.commits.Inc()
 	committed := 0
 	for _, n := range c.nodes {
 		n.mu.Lock()
@@ -82,6 +98,7 @@ func (c *Cluster) CommitStage(stage string) int {
 // Like CommitStage it is metadata-only and always succeeds. Returns the
 // number of shards dropped.
 func (c *Cluster) AbortStage(stage string) int {
+	c.metrics.aborts.Inc()
 	dropped := 0
 	for _, n := range c.nodes {
 		n.mu.Lock()

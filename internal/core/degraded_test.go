@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"securearchive/internal/cluster"
+	"securearchive/internal/group"
+	"securearchive/internal/obs"
+)
+
+// Acceptance: with exactly n−k+1 nodes offline the stripe is one shard
+// short of decodable, and Get must say so — a typed DegradedError naming
+// got/want and the per-node causes, not a scheme-level decode error.
+func TestVaultGetDegradedBelowThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		enc  Encoding
+	}{
+		{"erasure", Erasure{K: 4, N: 8}},
+		{"shamir", SecretSharing{T: 4, N: 8}},
+		{"packed", PackedSharing{T: 2, K: 2, N: 8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			v, c := testVault(t, tc.enc)
+			data := []byte("below threshold the read must fail loudly")
+			if err := v.Put("r", data); err != nil {
+				t.Fatal(err)
+			}
+			n, min := tc.enc.Shards()
+			for i := 0; i < n-min+1; i++ {
+				c.SetOnline(i, false)
+			}
+			_, err := v.Get("r")
+			if !errors.Is(err, ErrDegraded) {
+				t.Fatalf("get with %d nodes down: %v, want ErrDegraded", n-min+1, err)
+			}
+			var de *DegradedError
+			if !errors.As(err, &de) {
+				t.Fatalf("error %T does not unwrap to *DegradedError", err)
+			}
+			if de.Got != min-1 || de.Want != min {
+				t.Fatalf("got/want = %d/%d, want %d/%d", de.Got, de.Want, min-1, min)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "insufficient shards: got") || !strings.Contains(msg, "node 0: down") {
+				t.Fatalf("error text lacks counts or attribution: %q", msg)
+			}
+			// One node back above the threshold: the read recovers.
+			c.SetOnline(0, true)
+			got, err := v.Get("r")
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("get at exact threshold: %v", err)
+			}
+		})
+	}
+}
+
+// A read that routes around bit rot must queue the object for scrubbing
+// and bump vault.read.discarded — the repair loop learns from reads.
+func TestVaultRotDiscardQueuesScrub(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := cluster.New(8, nil)
+	c.UseRegistry(reg)
+	v, err := NewVault(c, Erasure{K: 4, N: 8}, WithGroup(group.Test()), WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("rot routed around must still get repaired")
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	// Rot node 2's shard deterministically: one read with p=1.
+	c.SetFaultPlan(&cluster.FaultPlan{Seed: 5, Nodes: map[int]cluster.NodeFaults{
+		2: {CorruptProb: 1.0},
+	}})
+	if _, err := c.Get(2, cluster.ShardKey{Object: "r", Index: 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultPlan(nil)
+
+	got, err := v.Get("r")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get with rotted shard: %v", err)
+	}
+	if d := v.DirtyObjects(); len(d) != 1 || d[0] != "r" {
+		t.Fatalf("dirty queue = %v, want [r]", d)
+	}
+	if n := reg.Counter("vault.read.discarded").Load(); n < 1 {
+		t.Fatalf("vault.read.discarded = %d, want >= 1", n)
+	}
+	if n := reg.Counter("cluster.fetch.discarded").Load(); n < 1 {
+		t.Fatalf("cluster.fetch.discarded = %d, want >= 1", n)
+	}
+	if n := reg.Counter("cluster.fetch.discarded.node02").Load(); n < 1 {
+		t.Fatalf("per-node discard attribution missing: %d", n)
+	}
+
+	// ScrubAll repairs the rot and drains the dirty queue.
+	reports, err := v.ScrubAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repaired bool
+	for _, rep := range reports {
+		if rep.Object == "r" && rep.Repaired && len(rep.Corrupt) == 1 && rep.Corrupt[0] == 2 {
+			repaired = true
+		}
+	}
+	if !repaired {
+		t.Fatalf("scrub did not repair the discarded shard: %+v", reports)
+	}
+	if d := v.DirtyObjects(); len(d) != 0 {
+		t.Fatalf("dirty queue not drained: %v", d)
+	}
+	if n := reg.Counter("vault.scrub.repairs").Load(); n < 1 {
+		t.Fatalf("vault.scrub.repairs = %d, want >= 1", n)
+	}
+}
+
+// Metrics acceptance: an instrumented put/get round trip under transient
+// faults shows up in the snapshot — op counters, size histograms, and
+// retry counters (which land in the default registry).
+func TestVaultMetricsSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := cluster.New(8, nil)
+	c.UseRegistry(reg)
+	v, err := NewVault(c, SecretSharing{T: 4, N: 8}, WithGroup(group.Test()), WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retryBase := obs.Default().Counter("cluster.retry.attempts").Load()
+	backoffBase := obs.Default().Counter("cluster.retry.backoff_ns").Load()
+
+	if err := v.Put("m", []byte("measured object")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultPlan(&cluster.FaultPlan{Seed: 11, Default: cluster.NodeFaults{TransientProb: 0.4}})
+	for i := 0; i < 8; i++ {
+		if _, err := v.Get("m"); err != nil {
+			t.Fatalf("get %d under transients: %v", i, err)
+		}
+	}
+	c.SetFaultPlan(nil)
+
+	snap := reg.Snapshot()
+	if snap.Counters["cluster.staged.ok"] == 0 {
+		t.Fatal("cluster.staged.ok not counted")
+	}
+	if snap.Counters["cluster.stage.commit"] == 0 {
+		t.Fatal("cluster.stage.commit not counted")
+	}
+	if snap.Counters["cluster.fetch.probes"] == 0 {
+		t.Fatal("cluster.fetch.probes not counted")
+	}
+	h, ok := snap.Histograms["vault.get.bytes"]
+	if !ok || h.Count != 8 || h.Sum != 8*float64(len("measured object")) {
+		t.Fatalf("vault.get.bytes histogram wrong: %+v", h)
+	}
+	if _, ok := snap.Histograms["vault.put.ok"]; !ok {
+		t.Fatal("vault.put span did not record")
+	}
+	// 8 reads at p=0.4 transients with seeded determinism must retry.
+	if d := obs.Default().Counter("cluster.retry.attempts").Load() - retryBase; d < 1 {
+		t.Fatalf("cluster.retry.attempts delta = %d, want >= 1", d)
+	}
+	if d := obs.Default().Counter("cluster.retry.backoff_ns").Load() - backoffBase; d < 1 {
+		t.Fatalf("cluster.retry.backoff_ns delta = %d, want >= 1", d)
+	}
+}

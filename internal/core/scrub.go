@@ -69,9 +69,12 @@ func (r *ScrubReport) Clean() bool { return len(r.Missing) == 0 && len(r.Corrupt
 // redundancy (or a node needed for the rewrite is down), in which case
 // the cluster is left exactly as it was.
 func (v *Vault) Scrub(id string) (*ScrubReport, error) {
+	end := v.obsReg.Span("vault.scrub")
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.scrubLocked(id)
+	rep, err := v.scrubLocked(id)
+	v.mu.Unlock()
+	end(err)
+	return rep, err
 }
 
 // ScrubAll scrubs every object (in id order), returning one report per
@@ -104,10 +107,14 @@ func (v *Vault) scrubLocked(id string) (*ScrubReport, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	n, _ := v.Encoding.Shards()
-	shards, _ := v.Cluster.FetchStripe(id, n, n, v.retry, nil)
+	res := v.Cluster.FetchStripe(id, n, n, v.retry, nil)
+	shards := res.Shards
 	healthy, missing, corrupt := CheckShards(shards, obj.digests)
 	rep := &ScrubReport{Object: id, Healthy: healthy, Missing: missing, Corrupt: corrupt}
 	if rep.Clean() {
+		// A clean stripe clears any read-time dirty mark: whatever a
+		// degraded read discarded has since healed or been rewritten.
+		v.clearDirty(id)
 		return rep, nil
 	}
 	// Decode from the healthy shards only, then confirm end to end
@@ -140,5 +147,15 @@ func (v *Vault) scrubLocked(id string) (*ScrubReport, error) {
 	obj.enc.PlainLen = enc.PlainLen
 	obj.digests = ShardDigests(enc.Shards)
 	rep.Repaired = true
+	v.obsm.scrubRepairs.Inc()
+	v.clearDirty(id)
 	return rep, nil
+}
+
+// clearDirty removes an object from the scrub queue once its stripe is
+// known healthy again.
+func (v *Vault) clearDirty(id string) {
+	v.dirtyMu.Lock()
+	delete(v.dirty, id)
+	v.dirtyMu.Unlock()
 }

@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"time"
 
 	"securearchive/internal/cluster"
 	"securearchive/internal/group"
+	"securearchive/internal/obs"
 	"securearchive/internal/sig"
 	"securearchive/internal/tstamp"
 )
@@ -42,6 +45,14 @@ type Vault struct {
 	// stageSeq uniquifies stage tokens; guarded by mu (writers hold the
 	// write lock when dispersing).
 	stageSeq int
+
+	// obsReg/obsm are the metrics registry and pre-resolved instruments;
+	// see degraded.go. dirty (own lock: Gets only hold mu's read side)
+	// queues objects whose reads discarded rotted shards for ScrubAll.
+	obsReg  *obs.Registry
+	obsm    *vaultMetrics
+	dirtyMu sync.Mutex
+	dirty   map[string]struct{}
 }
 
 type vaultObject struct {
@@ -110,16 +121,26 @@ func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, er
 		rnd:           rand.Reader,
 		retry:         cluster.DefaultRetry,
 		objects:       make(map[string]*vaultObject),
+		obsReg:        obs.Default(),
+		dirty:         make(map[string]struct{}),
 	}
 	for _, o := range opts {
 		o(v)
 	}
+	v.obsm = newVaultMetrics(v.obsReg, v.Encoding.Name())
 	return v, nil
 }
 
 // Put archives data under id: encode, disperse one shard per node, and
 // open an integrity chain.
 func (v *Vault) Put(id string, data []byte) error {
+	end := v.obsReg.Span("vault.put")
+	err := v.put(id, data)
+	end(err)
+	return err
+}
+
+func (v *Vault) put(id string, data []byte) error {
 	// Cheap early check; racing Puts of the same id are caught again under
 	// the write lock below.
 	v.mu.RLock()
@@ -130,10 +151,13 @@ func (v *Vault) Put(id string, data []byte) error {
 	}
 	// The CPU-heavy work — encoding and chain construction — runs outside
 	// the lock so that concurrent Puts of different objects overlap.
+	encStart := time.Now()
 	enc, err := v.Encoding.Encode(data, v.rnd)
 	if err != nil {
 		return err
 	}
+	observeRate(v.obsm.encodeMBs, len(data), time.Since(encStart))
+	v.obsm.putBytes.Observe(float64(len(data)))
 	chain, err := tstamp.New(data, v.IntegrityMode, sig.Ed25519, v.Cluster.Epoch(), v.Group, v.rnd)
 	if err != nil {
 		return err
@@ -193,9 +217,12 @@ func (v *Vault) disperseLocked(id string, enc *Encoded) error {
 
 // Get retrieves and integrity-checks an object.
 func (v *Vault) Get(id string) ([]byte, error) {
+	end := v.obsReg.Span("vault.get")
 	v.mu.RLock()
-	defer v.mu.RUnlock()
-	return v.getLocked(id)
+	data, err := v.getLocked(id)
+	v.mu.RUnlock()
+	end(err)
+	return data, err
 }
 
 // getLocked is Get's body; callers hold v.mu (read or write). It is a
@@ -204,30 +231,71 @@ func (v *Vault) Get(id string) ([]byte, error) {
 // backoff, discards shards whose digest no longer matches (bit rot,
 // tampering) and pulls from further nodes instead, stopping as soon as
 // the minimum is in hand.
+//
+// A read that had to discard rotted shards still succeeds, but queues
+// the object for ScrubAll (see DirtyObjects) — routing around bit rot
+// must trigger a repair, not hide the damage. A read that cannot reach
+// the encoding's minimum returns *DegradedError (errors.Is ErrDegraded)
+// carrying got/want and the per-node causes, never a raw decode error.
 func (v *Vault) getLocked(id string) ([]byte, error) {
 	obj, ok := v.objects[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	n, min := v.Encoding.Shards()
-	shards, _ := v.Cluster.FetchStripe(id, n, min, v.retry, func(i int, data []byte) bool {
+	res := v.Cluster.FetchStripe(id, n, min, v.retry, func(i int, data []byte) bool {
 		return i < len(obj.digests) && sha256.Sum256(data) == obj.digests[i]
 	})
+	if len(res.Discarded) > 0 {
+		v.obsm.readDiscarded.Add(int64(len(res.Discarded)))
+		v.markDirty(id)
+	}
+	if res.Fetched < min {
+		v.obsm.readInsufficient.Inc()
+		return nil, &DegradedError{Object: id, Got: res.Fetched, Want: min, Failures: res.Failures}
+	}
+	if res.Degraded() {
+		v.obsm.readDegraded.Inc()
+	}
 	enc := &Encoded{
 		Scheme:       obj.enc.Scheme,
 		PlainLen:     obj.enc.PlainLen,
-		Shards:       shards,
+		Shards:       res.Shards,
 		ClientSecret: obj.enc.ClientSecret,
 		PublicMeta:   obj.enc.PublicMeta,
 	}
+	decStart := time.Now()
 	data, err := v.Encoding.Decode(enc)
 	if err != nil {
 		return nil, err
 	}
+	observeRate(v.obsm.decodeMBs, len(data), time.Since(decStart))
+	v.obsm.getBytes.Observe(float64(len(data)))
 	if err := obj.chain.VerifyData(data); err != nil {
 		return nil, fmt.Errorf("core: integrity chain rejects data for %s: %w", id, err)
 	}
 	return data, nil
+}
+
+// markDirty queues an object for the next ScrubAll after a read had to
+// discard rotted shards.
+func (v *Vault) markDirty(id string) {
+	v.dirtyMu.Lock()
+	v.dirty[id] = struct{}{}
+	v.dirtyMu.Unlock()
+}
+
+// DirtyObjects lists objects queued for scrubbing because a read
+// discarded at least one of their shards since the last scrub.
+func (v *Vault) DirtyObjects() []string {
+	v.dirtyMu.Lock()
+	defer v.dirtyMu.Unlock()
+	out := make([]string, 0, len(v.dirty))
+	for id := range v.dirty {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RenewIntegrity appends a fresh signature (rotating schemes) to the
@@ -251,6 +319,13 @@ func (v *Vault) RenewIntegrity(id string, scheme sig.Scheme) error {
 // cluster keeps the old encoding intact, so the object never ends up
 // with mixed-epoch shards under a stale ClientSecret.
 func (v *Vault) RenewShares(id string) error {
+	end := v.obsReg.Span("vault.renew")
+	err := v.renewShares(id)
+	end(err)
+	return err
+}
+
+func (v *Vault) renewShares(id string) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	data, err := v.getLocked(id)

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cluster.put.ok")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("cluster.put.ok") != c {
+		t.Fatal("second resolution returned a different counter")
+	}
+	g := r.Gauge("cluster.staged")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vault.get.ns", LatencyBuckets())
+	// 100 observations spread uniformly across 1..100 µs.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1e3)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 20e3 || p50 > 100e3 {
+		t.Fatalf("p50 = %v, want within the observed range", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	if mean := h.Mean(); mean < 40e3 || mean > 60e3 {
+		t.Fatalf("mean = %v, want ≈ 50.5µs", mean)
+	}
+	// Overflow: a huge value lands in the overflow bucket, quantile
+	// saturates at the last bound.
+	h2 := r.Histogram("x.overflow", []float64{1, 2})
+	h2.Observe(100)
+	if q := h2.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %v, want last bound", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty", LatencyBuckets())
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	end := r.Span("op")
+	end(nil)
+	endErr := r.Span("op")
+	endErr(errors.New("boom"))
+	snap := r.Snapshot()
+	if snap.Histograms["op.ok"].Count != 1 {
+		t.Fatalf("op.ok count = %d, want 1", snap.Histograms["op.ok"].Count)
+	}
+	if snap.Histograms["op.err"].Count != 1 {
+		t.Fatalf("op.err count = %d, want 1", snap.Histograms["op.err"].Count)
+	}
+
+	// Disabled: Span is the shared no-op and records nothing.
+	r.SetEnabled(false)
+	r.Span("op")(nil)
+	if got := r.Snapshot().Histograms["op.ok"].Count; got != 1 {
+		t.Fatalf("disabled span recorded: count = %d", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b.ok").Add(3)
+	r.Histogram("lat.ns", LatencyBuckets()).Observe(5e3)
+	blob := r.Snapshot().JSON()
+	var round Snapshot
+	if err := json.Unmarshal(blob, &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters["a.b.ok"] != 3 {
+		t.Fatalf("counter lost in JSON: %+v", round.Counters)
+	}
+	if round.Schema == "" || !strings.HasPrefix(round.Schema, "securearchive/obs/") {
+		t.Fatalf("schema = %q", round.Schema)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h", []float64{1, 10})
+	c.Add(9)
+	h.Observe(5)
+	r.Reset()
+	if c.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("reset left state behind")
+	}
+	// Old pointers still record after reset.
+	c.Inc()
+	if r.Counter("n").Load() != 1 {
+		t.Fatal("pre-reset pointer detached from registry")
+	}
+}
+
+// TestConcurrent exercises the lock-free observation paths under -race.
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", LatencyBuckets()).Observe(float64(i))
+				end := r.Span("s")
+				end(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Load(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram = %d, want 8000", got)
+	}
+}

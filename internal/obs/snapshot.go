@@ -1,0 +1,64 @@
+package obs
+
+import "encoding/json"
+
+// HistogramSnapshot is one histogram's exported state.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time export of a registry, ready for JSON
+// (expvar-style dumps, archivectl stats, BENCH_obs.json). Map keys
+// marshal sorted, so output is stable across runs.
+type Snapshot struct {
+	Schema     string                       `json:"schema"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports every metric currently in the registry. Metrics that
+// have never been touched (zero counters, empty histograms) are still
+// included — absence of traffic is itself a signal.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{
+		Schema:     "securearchive/obs/v1",
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistogramSnapshot{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON with a trailing newline.
+func (s *Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Snapshot contains only maps of numbers; marshal cannot fail.
+		panic("obs: snapshot marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}

@@ -85,6 +85,9 @@ type Result struct {
 }
 
 // Run executes one session with deterministic randomness from seed.
+// Each call owns a locally seeded *rand.Rand — never the shared
+// math/rand global source — so concurrent sessions cannot perturb each
+// other's draw sequences and a given seed always replays the same run.
 func Run(p Params, seed int64) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

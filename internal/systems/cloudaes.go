@@ -91,7 +91,10 @@ func (s *CloudAES) Retrieve(ref *Ref) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownRef, ref.Object)
 	}
-	shards := getShardsDegraded(s.Cluster, ref.Object, s.Code.TotalShards(), s.Code.DataShards())
+	shards, err := getShardsDegraded(s.Cluster, ref.Object, s.Code.TotalShards(), s.Code.DataShards())
+	if err != nil {
+		return nil, err
+	}
 	if err := s.Code.Reconstruct(shards); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRetrieval, err)
 	}

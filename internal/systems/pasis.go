@@ -135,7 +135,10 @@ func (p *PASIS) Retrieve(ref *Ref) ([]byte, error) {
 	case PASISReplication:
 		// One good replica suffices; the degraded read retries flaky
 		// providers before falling back to the next.
-		shards := getShardsDegraded(p.Cluster, ref.Object, p.N, 1)
+		shards, err := getShardsDegraded(p.Cluster, ref.Object, p.N, 1)
+		if err != nil {
+			return nil, err
+		}
 		for _, sh := range shards {
 			if sh != nil {
 				return sh, nil
@@ -143,7 +146,10 @@ func (p *PASIS) Retrieve(ref *Ref) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("%w: no replica reachable", ErrRetrieval)
 	case PASISErasure:
-		shards := getShardsDegraded(p.Cluster, ref.Object, p.code.TotalShards(), p.code.DataShards())
+		shards, err := getShardsDegraded(p.Cluster, ref.Object, p.code.TotalShards(), p.code.DataShards())
+		if err != nil {
+			return nil, err
+		}
 		if err := p.code.Reconstruct(shards); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrRetrieval, err)
 		}

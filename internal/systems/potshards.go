@@ -57,7 +57,10 @@ func (s *POTSHARDS) Store(object string, data []byte, rnd io.Reader) (*Ref, erro
 // Retrieve implements Archive: any t online providers suffice, and the
 // degraded read stops probing once it has them.
 func (s *POTSHARDS) Retrieve(ref *Ref) ([]byte, error) {
-	shards := getShardsDegraded(s.Cluster, ref.Object, s.N, s.T)
+	shards, err := getShardsDegraded(s.Cluster, ref.Object, s.N, s.T)
+	if err != nil {
+		return nil, err
+	}
 	shares := make([]shamir.Share, 0, s.T)
 	for i, data := range shards {
 		if data == nil {

@@ -105,18 +105,35 @@ func putShards(c *cluster.Cluster, object string, shards [][]byte) error {
 }
 
 // getShards fetches the full stripe (nil for unavailable shards),
-// indexed by shard number, retrying transient faults per node.
+// indexed by shard number, retrying transient faults per node. A
+// best-effort read: callers that tolerate holes (robust decoders,
+// breach analysis) take whatever arrived.
 func getShards(c *cluster.Cluster, object string, total int) [][]byte {
-	return getShardsDegraded(c, object, total, total)
+	return c.FetchStripe(object, total, total, cluster.DefaultRetry, nil).Shards
 }
 
 // getShardsDegraded is the PASIS/POTSHARDS-style k-of-n read shared by
 // the survivable systems: fan out the decoder's minimum plus speculative
 // probes, retry transients with bounded backoff, fall back to remaining
-// providers, and stop once want shards are in hand.
-func getShardsDegraded(c *cluster.Cluster, object string, total, want int) [][]byte {
-	out, _ := c.FetchStripe(object, total, want, cluster.DefaultRetry, nil)
-	return out
+// providers, and stop once want shards are in hand. When fewer than want
+// shards arrive the error reports the shortfall and the per-node causes
+// ("insufficient shards: got 2, want 3 (node 4: corrupt, node 5:
+// down)") — callers must not feed the partial stripe to a decoder.
+func getShardsDegraded(c *cluster.Cluster, object string, total, want int) ([][]byte, error) {
+	res := c.FetchStripe(object, total, want, cluster.DefaultRetry, nil)
+	if res.Fetched < want {
+		return res.Shards, insufficientShards(res, want)
+	}
+	return res.Shards, nil
+}
+
+// insufficientShards wraps ErrRetrieval with got/want and per-node
+// attribution from a stripe read that ended below threshold.
+func insufficientShards(res *cluster.StripeResult, want int) error {
+	if s := res.FailureSummary(); s != "" {
+		return fmt.Errorf("%w: insufficient shards: got %d, want %d (%s)", ErrRetrieval, res.Fetched, want, s)
+	}
+	return fmt.Errorf("%w: insufficient shards: got %d, want %d", ErrRetrieval, res.Fetched, want)
 }
 
 // harvestedShamir assembles shamir.Shares from the adversary's harvest of

@@ -72,10 +72,13 @@ func (s *VSRArchive) Retrieve(ref *Ref) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownRef, ref.Object)
 	}
-	shards, _ := s.Cluster.FetchStripe(ref.Object, s.N, s.T, cluster.DefaultRetry,
+	res := s.Cluster.FetchStripe(ref.Object, s.N, s.T, cluster.DefaultRetry,
 		func(i int, data []byte) bool { return sha256.Sum256(data) == comms[i] })
+	if res.Fetched < s.T {
+		return nil, insufficientShards(res, s.T)
+	}
 	shares := make([]shamir.Share, 0, s.T)
-	for i, data := range shards {
+	for i, data := range res.Shards {
 		if data == nil {
 			continue
 		}
@@ -83,9 +86,6 @@ func (s *VSRArchive) Retrieve(ref *Ref) ([]byte, error) {
 		if len(shares) == s.T {
 			break
 		}
-	}
-	if len(shares) < s.T {
-		return nil, fmt.Errorf("%w: %d/%d verified shares", ErrRetrieval, len(shares), s.T)
 	}
 	out, err := shamir.Combine(shares)
 	if err != nil {

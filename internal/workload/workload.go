@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // ErrBadParams reports invalid generator parameters.
@@ -48,8 +49,14 @@ type Object struct {
 	Size  int64
 }
 
-// Generator produces a deterministic object stream.
+// Generator produces a deterministic object stream. It is safe for
+// concurrent use: the rng is locally seeded (never the shared math/rand
+// global source, whose cross-package interleaving would destroy seed
+// reproducibility) and mu guards it together with the object counter.
+// The stream order is deterministic for a fixed call sequence;
+// concurrent callers partition it operation-by-operation.
 type Generator struct {
+	mu      sync.Mutex
 	rng     *rand.Rand
 	classes []SizeClass
 	cum     []float64
@@ -88,6 +95,8 @@ func NewGenerator(classes []SizeClass, seed int64) (*Generator, error) {
 
 // Next returns the next object descriptor.
 func (g *Generator) Next() Object {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	u := g.rng.Float64()
 	idx := len(g.classes) - 1
 	for i, c := range g.cum {
@@ -168,7 +177,9 @@ func (g *Generator) RecallPattern(batchLen int, frac float64) ([]int, error) {
 	if n < 1 {
 		n = 1
 	}
+	g.mu.Lock()
 	start := g.rng.Intn(batchLen)
+	g.mu.Unlock()
 	out := make([]int, n)
 	for i := range out {
 		out[i] = (start + i) % batchLen
