@@ -10,6 +10,7 @@
 //	archivectl info  -manifest ./store/secret.pdf.manifest.json
 //	archivectl scrub -manifest ./store/secret.pdf.manifest.json [-repair]
 //	archivectl stats -encoding erasure -n 8 -t 4 -objects 32 [-offline 2] [-transient 0.2]
+//	archivectl serve -encoding erasure -n 8 -t 4 [-offline 2] [-transient 0.2] [-addr 127.0.0.1:8080]
 //
 // Encodings: replication, erasure, aes, cascade, entropic, aont, shamir,
 // packed, lrss. After put, delete up to n−min node directories and get
@@ -60,13 +61,15 @@ func main() {
 		cmdScrub(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: archivectl put|get|info|scrub|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: archivectl put|get|info|scrub|stats|serve [flags]")
 	os.Exit(2)
 }
 

@@ -12,6 +12,7 @@ import (
 	"securearchive/internal/costmodel"
 	"securearchive/internal/group"
 	"securearchive/internal/obs"
+	"securearchive/internal/obs/trace"
 )
 
 // obsReport is the JSON schema written by -obs: the §3.2 read-out table
@@ -29,8 +30,22 @@ type obsReport struct {
 	// inside Vault.Get: vault.get.bytes.sum / vault.get.ok.sum.
 	VaultReadMBPerSec float64               `json:"vault_read_mb_per_sec"`
 	GetLatency        obs.HistogramSnapshot `json:"get_latency_ns"`
-	Section32         []section32Row        `json:"section32"`
-	Snapshot          *obs.Snapshot         `json:"snapshot"`
+	// Stages attributes the read path's time to its pipeline stages
+	// (probe/fetch, decode, verify), summed from the span-bridge
+	// histograms the tracer fills — the hierarchical answer to where
+	// vault.get's nanoseconds actually went.
+	Stages    []stageRow     `json:"stages"`
+	Section32 []section32Row `json:"section32"`
+	Snapshot  *obs.Snapshot  `json:"snapshot"`
+}
+
+// stageRow is one pipeline stage's share of the read window.
+type stageRow struct {
+	Stage string `json:"stage"`
+	// TotalNs is the stage's summed span duration over every read.
+	TotalNs float64 `json:"total_ns"`
+	// Fraction is TotalNs over vault.get's own summed duration.
+	Fraction float64 `json:"fraction"`
 }
 
 // runObs drives an instrumented put/read workload through a 14-node
@@ -47,8 +62,15 @@ func runObs(outPath string, objKiB int) {
 	reg := obs.NewRegistry()
 	c := cluster.New(n, nil)
 	c.UseRegistry(reg)
+	// Tracing on: each Get's fetch/decode/verify children bridge their
+	// durations into cluster.fetch.ok / vault.decode.ok / vault.verify.ok,
+	// which is where the per-stage attribution below comes from. The span
+	// bookkeeping is part of the measured path — the report prices the
+	// instrumented read, the same read the monitor watches.
+	tr := trace.New(reg, trace.WithRingSize(8))
+	tr.SetEnabled(true)
 	v, err := core.NewVault(c, core.Erasure{K: k, N: n},
-		core.WithGroup(group.Test()), core.WithRegistry(reg))
+		core.WithGroup(group.Test()), core.WithRegistry(reg), core.WithTracer(tr))
 	if err != nil {
 		fatal(err)
 	}
@@ -91,6 +113,17 @@ func runObs(outPath string, objKiB int) {
 	}
 	fmt.Printf("vault read bandwidth: %.0f MB/s over %d reads (p50 %.0f µs, p99 %.0f µs per get)\n",
 		mbps, int(rep.GetLatency.Count), rep.GetLatency.P50/1e3, rep.GetLatency.P99/1e3)
+
+	fmt.Println("\nread-path stage attribution (from span-bridge histograms):")
+	for _, st := range []struct{ label, hist string }{
+		{"probe/fetch", "cluster.fetch.ok"},
+		{"decode", "vault.decode.ok"},
+		{"verify", "vault.verify.ok"},
+	} {
+		ns := snap.Histograms[st.hist].Sum
+		rep.Stages = append(rep.Stages, stageRow{Stage: st.label, TotalNs: ns, Fraction: ns / readNs})
+		fmt.Printf("  %-12s %6.1f%% of vault.get time (%s)\n", st.label, 100*ns/readNs, st.hist)
+	}
 
 	paper := map[string]float64{
 		"Oak Ridge HPSS":       6.75,

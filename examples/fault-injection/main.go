@@ -17,11 +17,17 @@ import (
 	"securearchive/internal/cluster"
 	"securearchive/internal/core"
 	"securearchive/internal/obs"
+	"securearchive/internal/obs/trace"
 )
 
 func main() {
 	const n, t = 8, 4
 	c := cluster.New(n, nil)
+	// Hierarchical tracing on: every vault op below records a span tree
+	// (probes, retries, decode, verify), and the epilogue prints the
+	// slowest one — the request that ate the most backoff.
+	tracer := trace.Default()
+	tracer.SetEnabled(true)
 	v, err := core.NewVault(c, core.SecretSharing{T: t, N: n})
 	if err != nil {
 		log.Fatal(err)
@@ -122,5 +128,23 @@ func main() {
 	}
 	if h, ok := snap.Histograms["vault.get.ok"]; ok {
 		fmt.Printf("%-32s p50=%.0fµs p99=%.0fµs over %d reads\n", "vault.get.ok", h.P50/1e3, h.P99/1e3, h.Count)
+	}
+
+	// The aggregate says HOW MUCH was retried; the trace says WHERE. The
+	// slowest read of the run is act 1's degraded Get — offline probes
+	// failing fast, flaky survivors sleeping through backoff (the
+	// backoff.slept events below) — rendered as a span timeline.
+	var slowest *trace.Trace
+	for _, tc := range tracer.Recent(0) {
+		if tc.Root != "vault.get" {
+			continue
+		}
+		if slowest == nil || tc.DurNs > slowest.DurNs {
+			slowest = tc
+		}
+	}
+	if slowest != nil {
+		fmt.Printf("\n--- slowest read of the run (%d traces completed; trace.Timeline) ---\n", tracer.Completed())
+		fmt.Print(trace.Timeline(slowest))
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"securearchive/internal/obs"
+	"securearchive/internal/obs/trace"
 )
 
 // Degraded reads: the survivable-storage read discipline (PASIS,
@@ -72,9 +74,19 @@ func retryMetrics() (*obs.Counter, *obs.Counter) {
 // re-attempt bumps cluster.retry.attempts and every sleep adds to
 // cluster.retry.backoff_ns in the default registry.
 func RetryTransient(pol RetryPolicy, op func() error) error {
+	return RetryTransientCtx(context.Background(), pol, op)
+}
+
+// RetryTransientCtx is RetryTransient with trace attribution: when the
+// context carries a recording span, every backoff sleep is recorded on
+// it as a "backoff.slept" event (attempt number and delay) — the retry
+// loop's time becomes visible in the trace timeline instead of vanishing
+// into the parent span's duration.
+func RetryTransientCtx(ctx context.Context, pol RetryPolicy, op func() error) error {
 	pol = pol.normalize()
 	delay := pol.BaseDelay
 	attempts, backoff := retryMetrics()
+	sp := trace.FromContext(ctx)
 	var err error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if err = op(); !errors.Is(err, ErrTransient) {
@@ -83,6 +95,8 @@ func RetryTransient(pol RetryPolicy, op func() error) error {
 		if attempt < pol.MaxAttempts-1 {
 			attempts.Inc()
 			backoff.Add(delay.Nanoseconds())
+			sp.Event("backoff.slept",
+				trace.Int("attempt", attempt+1), trace.Int64("delay_ns", delay.Nanoseconds()))
 			time.Sleep(delay)
 			delay *= 2
 			if delay > pol.MaxDelay {
@@ -95,8 +109,14 @@ func RetryTransient(pol RetryPolicy, op func() error) error {
 
 // GetRetry is Get with RetryTransient around it.
 func (c *Cluster) GetRetry(nodeID int, key ShardKey, pol RetryPolicy) (Shard, error) {
+	return c.GetRetryCtx(context.Background(), nodeID, key, pol)
+}
+
+// GetRetryCtx is GetRetry with backoff sleeps attributed to the
+// context's span; see RetryTransientCtx.
+func (c *Cluster) GetRetryCtx(ctx context.Context, nodeID int, key ShardKey, pol RetryPolicy) (Shard, error) {
 	var sh Shard
-	err := RetryTransient(pol, func() error {
+	err := RetryTransientCtx(ctx, pol, func() error {
 		var e error
 		sh, e = c.Get(nodeID, key)
 		return e
@@ -177,6 +197,18 @@ func (r *StripeResult) FailureSummary() string {
 // the per-node cause of every miss. Callers deciding whether to decode
 // MUST compare result.Fetched against their threshold.
 func (c *Cluster) FetchStripe(object string, n, want int, pol RetryPolicy, valid func(index int, data []byte) bool) *StripeResult {
+	return c.FetchStripeCtx(context.Background(), object, n, want, pol, valid)
+}
+
+// FetchStripeCtx is FetchStripe joined into the context's trace (when
+// one is ambient — the cluster never roots traces itself). The whole
+// read becomes a "cluster.fetch" span; every probe attempt is a
+// "cluster.probe" child carrying node/shard attributes, its terminal
+// cause as a typed event (node.down, node.transient, shard.missing,
+// shard.discarded), and — via RetryTransientCtx — each backoff sleep it
+// paid. Probe spans are created on the fan-out goroutines; the tracer is
+// built for exactly this (sibling spans on concurrent goroutines).
+func (c *Cluster) FetchStripeCtx(ctx context.Context, object string, n, want int, pol RetryPolicy, valid func(index int, data []byte) bool) *StripeResult {
 	res := &StripeResult{}
 	if n <= 0 {
 		return res
@@ -184,6 +216,8 @@ func (c *Cluster) FetchStripe(object string, n, want int, pol RetryPolicy, valid
 	if want <= 0 || want > n {
 		want = n
 	}
+	fctx, fsp := trace.Child(ctx, "cluster.fetch",
+		trace.Str("object", object), trace.Int("n", n), trace.Int("want", want))
 	start := time.Now()
 	m := c.metrics
 	probes := want + 2
@@ -210,11 +244,26 @@ func (c *Cluster) FetchStripe(object string, n, want int, pol RetryPolicy, valid
 				next++
 				mu.Unlock()
 				m.probes.Inc()
-				sh, err := c.GetRetry(i, ShardKey{Object: object, Index: i}, pol)
+				pctx, psp := trace.Child(fctx, "cluster.probe",
+					trace.Int("node", i), trace.Int("shard", i))
+				sh, err := c.GetRetryCtx(pctx, i, ShardKey{Object: object, Index: i}, pol)
 				if err == nil && valid != nil && !valid(i, sh.Data) {
 					err = fmt.Errorf("%w: node %d %s[%d]", ErrShardInvalid, i, object, i)
 					m.discardedAt(i)
 				}
+				switch {
+				case err == nil:
+					psp.SetAttrs(trace.Int("bytes", len(sh.Data)))
+				case errors.Is(err, ErrShardInvalid):
+					psp.Event("shard.discarded", trace.Int("node", i))
+				case errors.Is(err, ErrNodeDown):
+					psp.Event("node.down", trace.Int("node", i))
+				case errors.Is(err, ErrTransient):
+					psp.Event("node.transient", trace.Int("node", i))
+				case errors.Is(err, ErrNoSuchShard):
+					psp.Event("shard.missing", trace.Int("node", i))
+				}
+				psp.End(err)
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -234,13 +283,16 @@ func (c *Cluster) FetchStripe(object string, n, want int, pol RetryPolicy, valid
 	sort.Ints(res.Discarded)
 	sort.Slice(res.Failures, func(a, b int) bool { return res.Failures[a].Node < res.Failures[b].Node })
 	m.fetchNs.Observe(float64(time.Since(start).Nanoseconds()))
+	fsp.SetAttrs(trace.Int("fetched", res.Fetched), trace.Int("discarded", len(res.Discarded)))
 	switch {
 	case res.Fetched < want:
 		m.short.Inc()
+		fsp.Event("stripe.short", trace.Int("got", res.Fetched), trace.Int("want", want))
 	case res.Degraded():
 		m.degraded.Inc()
 	default:
 		m.full.Inc()
 	}
+	fsp.End(nil)
 	return res
 }

@@ -8,6 +8,7 @@ import (
 
 	"securearchive/internal/cluster"
 	"securearchive/internal/obs"
+	"securearchive/internal/obs/trace"
 )
 
 // ErrDegraded marks a read that gathered fewer shards than the encoding
@@ -85,4 +86,13 @@ func observeRate(h *obs.Histogram, plainLen int, d time.Duration) {
 // capture both in one place.
 func WithRegistry(reg *obs.Registry) VaultOption {
 	return func(v *Vault) { v.obsReg = reg }
+}
+
+// WithTracer points the vault's hierarchical tracing at tr instead of
+// the tracer NewVault would otherwise pick (trace.Default() with the
+// default registry, a private tracer with an isolated one). Pass a
+// tracer whose registry matches WithRegistry so the span-duration
+// histograms land next to the rest of the vault's metrics.
+func WithTracer(tr *trace.Tracer) VaultOption {
+	return func(v *Vault) { v.tracer = tr }
 }

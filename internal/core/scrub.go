@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sort"
+
+	"securearchive/internal/obs/trace"
 )
 
 // Scrubbing: detect missing and rotted shards and rewrite the stripe
@@ -69,17 +72,31 @@ func (r *ScrubReport) Clean() bool { return len(r.Missing) == 0 && len(r.Corrupt
 // redundancy (or a node needed for the rewrite is down), in which case
 // the cluster is left exactly as it was.
 func (v *Vault) Scrub(id string) (*ScrubReport, error) {
-	end := v.obsReg.Span("vault.scrub")
+	return v.ScrubContext(context.Background(), id)
+}
+
+// ScrubContext is Scrub rooted in (or joined to) a trace: the audit
+// fetch, the repair decode/verify, and the staged rewrite nest under one
+// "vault.scrub" span, with a "scrub.repaired" event when the stripe was
+// rewritten.
+func (v *Vault) ScrubContext(ctx context.Context, id string) (*ScrubReport, error) {
+	ctx, sp := v.tracer.Start(ctx, "vault.scrub", trace.Str("object", id))
 	v.mu.Lock()
-	rep, err := v.scrubLocked(id)
+	rep, err := v.scrubLocked(ctx, id)
 	v.mu.Unlock()
-	end(err)
+	sp.End(err)
 	return rep, err
 }
 
 // ScrubAll scrubs every object (in id order), returning one report per
 // object and the joined errors of the failures.
 func (v *Vault) ScrubAll() ([]*ScrubReport, error) {
+	return v.ScrubAllContext(context.Background())
+}
+
+// ScrubAllContext is ScrubAll with each object's scrub rooted in (or
+// joined to) its own "vault.scrub" trace.
+func (v *Vault) ScrubAllContext(ctx context.Context) ([]*ScrubReport, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	ids := make([]string, 0, len(v.objects))
@@ -90,7 +107,9 @@ func (v *Vault) ScrubAll() ([]*ScrubReport, error) {
 	var reports []*ScrubReport
 	var errs []error
 	for _, id := range ids {
-		rep, err := v.scrubLocked(id)
+		sctx, sp := v.tracer.Start(ctx, "vault.scrub", trace.Str("object", id))
+		rep, err := v.scrubLocked(sctx, id)
+		sp.End(err)
 		if rep != nil {
 			reports = append(reports, rep)
 		}
@@ -101,13 +120,13 @@ func (v *Vault) ScrubAll() ([]*ScrubReport, error) {
 	return reports, errors.Join(errs...)
 }
 
-func (v *Vault) scrubLocked(id string) (*ScrubReport, error) {
+func (v *Vault) scrubLocked(ctx context.Context, id string) (*ScrubReport, error) {
 	obj, ok := v.objects[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	n, _ := v.Encoding.Shards()
-	res := v.Cluster.FetchStripe(id, n, n, v.retry, nil)
+	res := v.Cluster.FetchStripeCtx(ctx, id, n, n, v.retry, nil)
 	shards := res.Shards
 	healthy, missing, corrupt := CheckShards(shards, obj.digests)
 	rep := &ScrubReport{Object: id, Healthy: healthy, Missing: missing, Corrupt: corrupt}
@@ -122,6 +141,7 @@ func (v *Vault) scrubLocked(id string) (*ScrubReport, error) {
 	for _, i := range corrupt {
 		shards[i] = nil
 	}
+	_, dsp := trace.Child(ctx, "vault.decode", trace.Int("shards", len(healthy)))
 	data, err := v.Encoding.Decode(&Encoded{
 		Scheme:       obj.enc.Scheme,
 		PlainLen:     obj.enc.PlainLen,
@@ -129,17 +149,23 @@ func (v *Vault) scrubLocked(id string) (*ScrubReport, error) {
 		ClientSecret: obj.enc.ClientSecret,
 		PublicMeta:   obj.enc.PublicMeta,
 	})
+	dsp.End(err)
 	if err != nil {
 		return rep, fmt.Errorf("core: scrub %s: decode from %d healthy shards: %w", id, len(healthy), err)
 	}
-	if err := obj.chain.VerifyData(data); err != nil {
+	_, vsp := trace.Child(ctx, "vault.verify")
+	err = obj.chain.VerifyData(data)
+	vsp.End(err)
+	if err != nil {
 		return rep, fmt.Errorf("core: scrub %s: integrity chain rejects recovered data: %w", id, err)
 	}
+	_, esp := trace.Child(ctx, "vault.encode", trace.Int("bytes", len(data)))
 	enc, err := v.Encoding.Encode(data, v.rnd)
+	esp.End(err)
 	if err != nil {
 		return rep, fmt.Errorf("core: scrub %s: re-encode: %w", id, err)
 	}
-	if err := v.disperseLocked(id, enc); err != nil {
+	if err := v.disperseLocked(ctx, id, enc); err != nil {
 		return rep, fmt.Errorf("core: scrub %s: rewrite rolled back: %w", id, err)
 	}
 	obj.enc.ClientSecret = enc.ClientSecret
@@ -148,6 +174,9 @@ func (v *Vault) scrubLocked(id string) (*ScrubReport, error) {
 	obj.digests = ShardDigests(enc.Shards)
 	rep.Repaired = true
 	v.obsm.scrubRepairs.Inc()
+	sp := trace.FromContext(ctx)
+	sp.Event("scrub.repaired",
+		trace.Int("missing", len(rep.Missing)), trace.Int("corrupt", len(rep.Corrupt)))
 	v.clearDirty(id)
 	return rep, nil
 }

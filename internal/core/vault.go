@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/sha256"
 	"errors"
@@ -13,6 +14,7 @@ import (
 	"securearchive/internal/cluster"
 	"securearchive/internal/group"
 	"securearchive/internal/obs"
+	"securearchive/internal/obs/trace"
 	"securearchive/internal/sig"
 	"securearchive/internal/tstamp"
 )
@@ -47,10 +49,14 @@ type Vault struct {
 	stageSeq int
 
 	// obsReg/obsm are the metrics registry and pre-resolved instruments;
-	// see degraded.go. dirty (own lock: Gets only hold mu's read side)
-	// queues objects whose reads discarded rotted shards for ScrubAll.
+	// see degraded.go. tracer roots one hierarchical trace per vault op
+	// (Put/Get/Renew/Scrub) and bridges span durations into obsReg's
+	// histograms; disabled (the default), it degrades to exactly the flat
+	// Span timing. dirty (own lock: Gets only hold mu's read side) queues
+	// objects whose reads discarded rotted shards for ScrubAll.
 	obsReg  *obs.Registry
 	obsm    *vaultMetrics
+	tracer  *trace.Tracer
 	dirtyMu sync.Mutex
 	dirty   map[string]struct{}
 }
@@ -128,19 +134,37 @@ func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, er
 		o(v)
 	}
 	v.obsm = newVaultMetrics(v.obsReg, v.Encoding.Name())
+	if v.tracer == nil {
+		if v.obsReg == obs.Default() {
+			v.tracer = trace.Default()
+		} else {
+			// An isolated registry gets an isolated tracer so its bridge
+			// histograms land in the same place as the rest of its metrics.
+			v.tracer = trace.New(v.obsReg)
+		}
+	}
 	return v, nil
 }
 
 // Put archives data under id: encode, disperse one shard per node, and
 // open an integrity chain.
 func (v *Vault) Put(id string, data []byte) error {
-	end := v.obsReg.Span("vault.put")
-	err := v.put(id, data)
-	end(err)
+	return v.PutContext(context.Background(), id, data)
+}
+
+// PutContext is Put rooted in (or joined to) a trace: the whole write
+// becomes a "vault.put" span with encode, staging, and retry backoff
+// attributed below it. With tracing disabled it records exactly the flat
+// vault.put.ok/.err histograms Put always has.
+func (v *Vault) PutContext(ctx context.Context, id string, data []byte) error {
+	ctx, sp := v.tracer.Start(ctx, "vault.put",
+		trace.Str("object", id), trace.Str("encoding", v.Encoding.Name()), trace.Int("bytes", len(data)))
+	err := v.put(ctx, id, data)
+	sp.End(err)
 	return err
 }
 
-func (v *Vault) put(id string, data []byte) error {
+func (v *Vault) put(ctx context.Context, id string, data []byte) error {
 	// Cheap early check; racing Puts of the same id are caught again under
 	// the write lock below.
 	v.mu.RLock()
@@ -151,8 +175,10 @@ func (v *Vault) put(id string, data []byte) error {
 	}
 	// The CPU-heavy work — encoding and chain construction — runs outside
 	// the lock so that concurrent Puts of different objects overlap.
+	_, esp := trace.Child(ctx, "vault.encode", trace.Int("bytes", len(data)))
 	encStart := time.Now()
 	enc, err := v.Encoding.Encode(data, v.rnd)
+	esp.End(err)
 	if err != nil {
 		return err
 	}
@@ -171,7 +197,7 @@ func (v *Vault) put(id string, data []byte) error {
 	// Stage-then-commit: a multi-shard write that fails partway aborts
 	// its stage and leaves no committed shards behind — no orphans
 	// inflating StoredBytes, no unregistered objects.
-	if err := v.disperseLocked(id, enc); err != nil {
+	if err := v.disperseLocked(ctx, id, enc); err != nil {
 		return err
 	}
 	// The vault keeps client-side secrets and the chain; shards live on
@@ -195,33 +221,51 @@ func (v *Vault) put(id string, data []byte) error {
 // key swap. Any staging error aborts the stage, so the cluster never
 // holds a mix of old and new shards for the object. Callers hold the
 // write lock.
-func (v *Vault) disperseLocked(id string, enc *Encoded) error {
+func (v *Vault) disperseLocked(ctx context.Context, id string, enc *Encoded) error {
 	v.stageSeq++
 	stage := fmt.Sprintf("vault:%s#%d", id, v.stageSeq)
+	ctx, ssp := trace.Child(ctx, "cluster.stage", trace.Str("object", id))
 	for i, sh := range enc.Shards {
 		if sh == nil {
 			continue
 		}
 		i, sh := i, sh
-		err := cluster.RetryTransient(v.retry, func() error {
+		err := cluster.RetryTransientCtx(ctx, v.retry, func() error {
 			return v.Cluster.PutStaged(i, stage, cluster.ShardKey{Object: id, Index: i}, sh)
 		})
 		if err != nil {
 			v.Cluster.AbortStage(stage)
+			ssp.Event("stage.aborted", trace.Int("shard", i))
+			ssp.End(err)
 			return fmt.Errorf("core: disperse %s shard %d: %w", id, i, err)
 		}
 	}
-	v.Cluster.CommitStage(stage)
+	n := v.Cluster.CommitStage(stage)
+	ssp.Event("stage.committed", trace.Int("shards", n))
+	ssp.End(nil)
 	return nil
 }
 
 // Get retrieves and integrity-checks an object.
 func (v *Vault) Get(id string) ([]byte, error) {
-	end := v.obsReg.Span("vault.get")
+	return v.GetContext(context.Background(), id)
+}
+
+// GetContext is Get rooted in (or joined to) a trace: the read becomes a
+// "vault.get" span over the stripe fetch (per-node probes with typed
+// failure events), decode, and verify stages — the breakdown a degraded
+// read needs to explain where its latency went. With tracing disabled it
+// records exactly the flat vault.get.ok/.err histograms Get always has.
+func (v *Vault) GetContext(ctx context.Context, id string) ([]byte, error) {
+	ctx, sp := v.tracer.Start(ctx, "vault.get",
+		trace.Str("object", id), trace.Str("encoding", v.Encoding.Name()))
 	v.mu.RLock()
-	data, err := v.getLocked(id)
+	data, err := v.getLocked(ctx, id)
 	v.mu.RUnlock()
-	end(err)
+	if err == nil {
+		sp.SetAttrs(trace.Int("bytes", len(data)))
+	}
+	sp.End(err)
 	return data, err
 }
 
@@ -237,21 +281,24 @@ func (v *Vault) Get(id string) ([]byte, error) {
 // must trigger a repair, not hide the damage. A read that cannot reach
 // the encoding's minimum returns *DegradedError (errors.Is ErrDegraded)
 // carrying got/want and the per-node causes, never a raw decode error.
-func (v *Vault) getLocked(id string) ([]byte, error) {
+func (v *Vault) getLocked(ctx context.Context, id string) ([]byte, error) {
+	sp := trace.FromContext(ctx)
 	obj, ok := v.objects[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	n, min := v.Encoding.Shards()
-	res := v.Cluster.FetchStripe(id, n, min, v.retry, func(i int, data []byte) bool {
+	res := v.Cluster.FetchStripeCtx(ctx, id, n, min, v.retry, func(i int, data []byte) bool {
 		return i < len(obj.digests) && sha256.Sum256(data) == obj.digests[i]
 	})
 	if len(res.Discarded) > 0 {
 		v.obsm.readDiscarded.Add(int64(len(res.Discarded)))
 		v.markDirty(id)
+		sp.Event("read.dirty", trace.Int("discarded", len(res.Discarded)))
 	}
 	if res.Fetched < min {
 		v.obsm.readInsufficient.Inc()
+		sp.Event("read.insufficient", trace.Int("got", res.Fetched), trace.Int("want", min))
 		return nil, &DegradedError{Object: id, Got: res.Fetched, Want: min, Failures: res.Failures}
 	}
 	if res.Degraded() {
@@ -264,14 +311,19 @@ func (v *Vault) getLocked(id string) ([]byte, error) {
 		ClientSecret: obj.enc.ClientSecret,
 		PublicMeta:   obj.enc.PublicMeta,
 	}
+	_, dsp := trace.Child(ctx, "vault.decode", trace.Int("shards", res.Fetched))
 	decStart := time.Now()
 	data, err := v.Encoding.Decode(enc)
+	dsp.End(err)
 	if err != nil {
 		return nil, err
 	}
 	observeRate(v.obsm.decodeMBs, len(data), time.Since(decStart))
 	v.obsm.getBytes.Observe(float64(len(data)))
-	if err := obj.chain.VerifyData(data); err != nil {
+	_, vsp := trace.Child(ctx, "vault.verify")
+	err = obj.chain.VerifyData(data)
+	vsp.End(err)
+	if err != nil {
 		return nil, fmt.Errorf("core: integrity chain rejects data for %s: %w", id, err)
 	}
 	return data, nil
@@ -319,25 +371,35 @@ func (v *Vault) RenewIntegrity(id string, scheme sig.Scheme) error {
 // cluster keeps the old encoding intact, so the object never ends up
 // with mixed-epoch shards under a stale ClientSecret.
 func (v *Vault) RenewShares(id string) error {
-	end := v.obsReg.Span("vault.renew")
-	err := v.renewShares(id)
-	end(err)
+	return v.RenewSharesContext(context.Background(), id)
+}
+
+// RenewSharesContext is RenewShares rooted in (or joined to) a trace:
+// the read-back, re-encode, and staged rewrite all nest under one
+// "vault.renew" span.
+func (v *Vault) RenewSharesContext(ctx context.Context, id string) error {
+	ctx, sp := v.tracer.Start(ctx, "vault.renew",
+		trace.Str("object", id), trace.Str("encoding", v.Encoding.Name()))
+	err := v.renewShares(ctx, id)
+	sp.End(err)
 	return err
 }
 
-func (v *Vault) renewShares(id string) error {
+func (v *Vault) renewShares(ctx context.Context, id string) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	data, err := v.getLocked(id)
+	data, err := v.getLocked(ctx, id)
 	if err != nil {
 		return err
 	}
 	obj := v.objects[id]
+	_, esp := trace.Child(ctx, "vault.encode", trace.Int("bytes", len(data)))
 	enc, err := v.Encoding.Encode(data, v.rnd)
+	esp.End(err)
 	if err != nil {
 		return err
 	}
-	if err := v.disperseLocked(id, enc); err != nil {
+	if err := v.disperseLocked(ctx, id, enc); err != nil {
 		return fmt.Errorf("core: renewal of %s rolled back: %w", id, err)
 	}
 	obj.enc.ClientSecret = enc.ClientSecret

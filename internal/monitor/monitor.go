@@ -1,0 +1,216 @@
+// Package monitor serves the observability layer over HTTP: Prometheus
+// metrics scraped from an obs.Registry, JSON snapshots, recent trace
+// timelines from a trace.Tracer, a thresholded health check, and the
+// standard pprof handlers. It is what `archivectl serve` runs — a live
+// window into a vault under fault injection — but it binds to any
+// vault/cluster/registry/tracer combination, so tests and examples can
+// embed it too.
+//
+// The paper's archival argument is operational as much as cryptographic:
+// §3.2's bandwidth wall and the repair-scheduling literature (PASIS,
+// POTSHARDS) both assume someone is WATCHING the archive — degraded-read
+// rates, scrub backlogs, probe latencies. This package is that watch
+// post for the simulated archive.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"securearchive/internal/cluster"
+	"securearchive/internal/core"
+	"securearchive/internal/obs"
+	"securearchive/internal/obs/trace"
+)
+
+// Thresholds bound what /healthz tolerates before reporting unhealthy.
+type Thresholds struct {
+	// MaxScrubBacklog is the largest dirty-object queue considered
+	// healthy (DefaultMaxScrubBacklog when 0).
+	MaxScrubBacklog int
+	// MaxDegradedRate is the largest fraction of degraded or failed
+	// reads among all reads considered healthy (DefaultMaxDegradedRate
+	// when 0).
+	MaxDegradedRate float64
+}
+
+// Defaults for Thresholds zero values.
+const (
+	DefaultMaxScrubBacklog = 32
+	DefaultMaxDegradedRate = 0.25
+)
+
+func (t Thresholds) normalize() Thresholds {
+	if t.MaxScrubBacklog <= 0 {
+		t.MaxScrubBacklog = DefaultMaxScrubBacklog
+	}
+	if t.MaxDegradedRate <= 0 {
+		t.MaxDegradedRate = DefaultMaxDegradedRate
+	}
+	return t
+}
+
+// Server binds the monitoring endpoints to one vault's observability
+// state. Vault and Cluster may be nil (the corresponding health checks
+// fail); Registry and Tracer may be nil (those endpoints 404-degrade to
+// empty output).
+type Server struct {
+	Vault      *core.Vault
+	Cluster    *cluster.Cluster
+	Registry   *obs.Registry
+	Tracer     *trace.Tracer
+	Thresholds Thresholds
+}
+
+// HealthCheck is one /healthz probe result.
+type HealthCheck struct {
+	Name  string  `json:"name"`
+	OK    bool    `json:"ok"`
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit,omitempty"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Healthy bool          `json:"healthy"`
+	Checks  []HealthCheck `json:"checks"`
+}
+
+// Handler returns the monitor's mux:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/snapshot      the registry snapshot as JSON
+//	/traces        recent traces (?n=, &format=text for timelines)
+//	/healthz       thresholded health checks; 503 when any fail
+//	/debug/pprof/  the standard runtime profiles
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.Registry == nil {
+		http.Error(w, "no registry configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.Registry.Snapshot().WritePrometheus(w)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.Registry == nil {
+		http.Error(w, "no registry configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.Registry.Snapshot().JSON())
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.Tracer == nil {
+		http.Error(w, "no tracer configured", http.StatusNotFound)
+		return
+	}
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	traces := s.Tracer.Recent(n)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Tracer.Enabled() {
+			fmt.Fprintln(w, "tracing disabled (flat histograms only); start with tracing on to collect spans")
+		}
+		for _, t := range traces {
+			w.Write([]byte(trace.Timeline(t)))
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Enabled   bool           `json:"tracing_enabled"`
+		Completed uint64         `json:"completed"`
+		Traces    []*trace.Trace `json:"traces"`
+	}{s.Tracer.Enabled(), s.Tracer.Completed(), traces})
+}
+
+// CheckHealth runs the health probes and returns the aggregate. Exported
+// so callers can poll health without going through HTTP.
+func (s *Server) CheckHealth() Health {
+	th := s.Thresholds.normalize()
+	var h Health
+	h.Healthy = true
+	add := func(c HealthCheck) {
+		if !c.OK {
+			h.Healthy = false
+		}
+		h.Checks = append(h.Checks, c)
+	}
+
+	reach := HealthCheck{Name: "vault.reachable", OK: s.Vault != nil && s.Cluster != nil}
+	if reach.OK {
+		reach.Value = float64(s.Cluster.Size())
+		reach.Note = fmt.Sprintf("%d nodes, %d objects", s.Cluster.Size(), len(s.Vault.Objects()))
+	} else {
+		reach.Note = "no vault/cluster bound"
+	}
+	add(reach)
+
+	backlog := HealthCheck{Name: "scrub.backlog", Limit: float64(th.MaxScrubBacklog)}
+	if s.Vault != nil {
+		n := len(s.Vault.DirtyObjects())
+		backlog.Value = float64(n)
+		backlog.OK = n <= th.MaxScrubBacklog
+		if !backlog.OK {
+			backlog.Note = "dirty objects awaiting scrub exceed threshold"
+		}
+	}
+	add(backlog)
+
+	degraded := HealthCheck{Name: "degraded.read.rate", Limit: th.MaxDegradedRate, OK: true}
+	if s.Registry != nil {
+		snap := s.Registry.Snapshot()
+		reads := float64(snap.Histograms["vault.get.ok"].Count + snap.Histograms["vault.get.err"].Count)
+		bad := float64(snap.Counters["vault.read.degraded"] + snap.Counters["vault.read.insufficient"])
+		if reads > 0 {
+			degraded.Value = bad / reads
+			degraded.OK = degraded.Value <= th.MaxDegradedRate
+			if !degraded.OK {
+				degraded.Note = "reads routing around failures faster than scrubbing heals them"
+			}
+		}
+	}
+	add(degraded)
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.CheckHealth()
+	w.Header().Set("Content-Type", "application/json")
+	if !h.Healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}

@@ -1,0 +1,239 @@
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"securearchive/internal/cluster"
+	"securearchive/internal/core"
+	"securearchive/internal/group"
+	"securearchive/internal/obs"
+	"securearchive/internal/obs/trace"
+)
+
+func testServer(t *testing.T) (*Server, *core.Vault, *cluster.Cluster) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	c := cluster.New(8, nil)
+	c.UseRegistry(reg)
+	tr := trace.New(reg)
+	tr.SetEnabled(true)
+	v, err := core.NewVault(c, core.Erasure{K: 4, N: 8},
+		core.WithGroup(group.Test()), core.WithRegistry(reg), core.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Server{Vault: v, Cluster: c, Registry: reg, Tracer: tr}, v, c
+}
+
+func get(t *testing.T, h *Server, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, v, _ := testServer(t)
+	if err := v.Put("obj", []byte("metrics smoke")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Get("obj"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, s, "/metrics")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE vault_get_ok summary",
+		"vault_get_ok_count 1",
+		`vault_get_ok{quantile="0.95"}`,
+		"# TYPE cluster_fetch_probes counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	s, v, _ := testServer(t)
+	if err := v.Put("obj", []byte("snapshot smoke")); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, s, "/snapshot")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+	if snap.Histograms["vault.put.ok"].Count != 1 {
+		t.Fatalf("snapshot lacks the put: %+v", snap.Histograms["vault.put.ok"])
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	s, v, _ := testServer(t)
+	if err := v.Put("obj", []byte("trace smoke")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Get("obj"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, s, "/traces?n=2")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var out struct {
+		Enabled bool           `json:"tracing_enabled"`
+		Traces  []*trace.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/traces not JSON: %v", err)
+	}
+	if !out.Enabled || len(out.Traces) != 2 {
+		t.Fatalf("traces = %d enabled=%v", len(out.Traces), out.Enabled)
+	}
+	if out.Traces[1].Root != "vault.get" || out.Traces[1].Depth() < 3 {
+		t.Fatalf("last trace = %s depth %d", out.Traces[1].Root, out.Traces[1].Depth())
+	}
+
+	code, text := get(t, s, "/traces?n=1&format=text")
+	if code != 200 || !strings.Contains(text, "vault.get") || !strings.Contains(text, "cluster.probe") {
+		t.Fatalf("text timeline = %d:\n%s", code, text)
+	}
+
+	if code, _ := get(t, s, "/traces?n=bogus"); code != 400 {
+		t.Fatalf("bad n accepted: %d", code)
+	}
+}
+
+func TestHealthzHealthy(t *testing.T) {
+	s, v, _ := testServer(t)
+	if err := v.Put("obj", []byte("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Get("obj"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, s, "/healthz")
+	if code != 200 {
+		t.Fatalf("healthy vault reports %d:\n%s", code, body)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil || !h.Healthy || len(h.Checks) != 3 {
+		t.Fatalf("health = %+v err=%v", h, err)
+	}
+}
+
+// Acceptance: when the degraded-read rate crosses the threshold,
+// /healthz turns non-200 and names the failing check.
+func TestHealthzDegradedRateTrips(t *testing.T) {
+	s, v, c := testServer(t)
+	s.Thresholds.MaxDegradedRate = 0.25
+	if err := v.Put("obj", []byte("degraded reads trip the health check")); err != nil {
+		t.Fatal(err)
+	}
+	// Take half the stripe offline: every read is degraded (rate 1.0).
+	for i := 0; i < 4; i++ {
+		c.SetOnline(i, false)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := v.Get("obj"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, body := get(t, s, "/healthz")
+	if code != 503 {
+		t.Fatalf("degraded vault reports %d:\n%s", code, body)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil || h.Healthy {
+		t.Fatalf("health = %+v err=%v", h, err)
+	}
+	found := false
+	for _, ch := range h.Checks {
+		if ch.Name == "degraded.read.rate" {
+			found = true
+			if ch.OK || ch.Value <= 0.25 {
+				t.Fatalf("check = %+v", ch)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("degraded.read.rate check missing")
+	}
+}
+
+func TestHealthzScrubBacklogTrips(t *testing.T) {
+	s, v, c := testServer(t)
+	s.Thresholds.MaxScrubBacklog = 1
+	// Every read below rots a shard, so the degraded rate hits 1.0;
+	// loosen that check to isolate the backlog one.
+	s.Thresholds.MaxDegradedRate = 1.0
+	for _, id := range []string{"a", "b", "c"} {
+		if err := v.Put(id, []byte("backlog grows: "+id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rot one shard of each object so every read discards and queues it.
+	c.SetFaultPlan(&cluster.FaultPlan{Seed: 7, Nodes: map[int]cluster.NodeFaults{
+		2: {CorruptProb: 1.0},
+	}})
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := c.Get(2, cluster.ShardKey{Object: id, Index: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetFaultPlan(nil)
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := v.Get(id); err != nil && !errors.Is(err, core.ErrDegraded) {
+			t.Fatal(err)
+		}
+	}
+	if n := len(v.DirtyObjects()); n != 3 {
+		t.Fatalf("dirty = %d, want 3", n)
+	}
+	if code, body := get(t, s, "/healthz"); code != 503 {
+		t.Fatalf("backlogged vault reports %d:\n%s", code, body)
+	}
+	// Scrubbing clears the backlog and health recovers.
+	if _, err := v.ScrubAll(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get(t, s, "/healthz"); code != 200 {
+		t.Fatalf("scrubbed vault reports %d:\n%s", code, body)
+	}
+}
+
+func TestHealthzUnbound(t *testing.T) {
+	s := &Server{}
+	h := s.CheckHealth()
+	if h.Healthy {
+		t.Fatal("unbound server reports healthy")
+	}
+}
+
+func TestPprofWired(t *testing.T) {
+	s, _, _ := testServer(t)
+	code, body := get(t, s, "/debug/pprof/cmdline")
+	if code != 200 || body == "" {
+		t.Fatalf("pprof cmdline = %d", code)
+	}
+}

@@ -89,6 +89,25 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// boundsEqual reports whether two bucket ladders are the same. The
+// shared ladders (LatencyBuckets etc.) return the same backing array on
+// every call, so the identity check makes the common repeated-resolution
+// path free.
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func (h *Histogram) reset() {
 	for i := range h.counts {
 		h.counts[i].Store(0)

@@ -129,23 +129,45 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it with the given
-// bucket upper bounds on first use. An existing histogram keeps its
-// original bounds; bounds must be sorted ascending.
+// bucket upper bounds on first use; bounds must be sorted ascending.
+//
+// Contract: a histogram's bounds are fixed at creation. A later caller
+// passing DIFFERENT bounds still gets the existing histogram — its
+// observations land in the original buckets — but the mismatch is no
+// longer silent: each such call increments the obs.hist.bounds_conflict
+// counter, so a nonzero value there means two call sites disagree about
+// a metric's bucketing and one of them is being misled. Passing nil (or
+// empty) bounds never conflicts — it is the "look up, don't care about
+// bucketing" form.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.RLock()
 	h, ok := r.hists[name]
 	r.mu.RUnlock()
 	if ok {
+		r.noteBoundsConflict(h, bounds)
 		return h
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok = r.hists[name]; ok {
+	if h, ok = r.hists[name]; !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+		r.mu.Unlock()
 		return h
 	}
-	h = newHistogram(bounds)
-	r.hists[name] = h
+	r.mu.Unlock()
+	// Raced with another creator: check against what actually won.
+	r.noteBoundsConflict(h, bounds)
 	return h
+}
+
+// noteBoundsConflict records a Histogram call whose bounds disagree with
+// the histogram that already exists. Called without r.mu held (Counter
+// takes the lock itself).
+func (r *Registry) noteBoundsConflict(h *Histogram, bounds []float64) {
+	if len(bounds) == 0 || boundsEqual(h.bounds, bounds) {
+		return
+	}
+	r.Counter("obs.hist.bounds_conflict").Inc()
 }
 
 // nopSpanEnd is the shared no-op returned while the registry is
@@ -181,9 +203,16 @@ func (r *Registry) Span(name string) func(err error) {
 // Reset zeroes every metric in place. Pointers handed out earlier stay
 // valid (they observe into the zeroed state), so instrumented components
 // need no re-wiring between measurement windows.
+//
+// Reset holds the registry lock exclusively, so it cannot interleave
+// with Snapshot: a snapshot sees every histogram either entirely before
+// or entirely after a concurrent Reset, never a half-zeroed bucket set.
+// (Observations racing either call are individually atomic and may land
+// on either side of the boundary; that skew is inherent to lock-free
+// recording and bounded by the in-flight operations.)
 func (r *Registry) Reset() {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, c := range r.counters {
 		c.v.Store(0)
 	}

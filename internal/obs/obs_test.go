@@ -121,6 +121,39 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestHistogramBoundsConflict pins the Histogram contract: the first
+// caller's bounds win, later disagreeing callers get the existing
+// histogram plus a tick on obs.hist.bounds_conflict, and nil/empty
+// bounds are always a conflict-free lookup.
+func TestHistogramBoundsConflict(t *testing.T) {
+	r := NewRegistry()
+	conflict := r.Counter("obs.hist.bounds_conflict")
+
+	h := r.Histogram("lat", LatencyBuckets())
+	if r.Histogram("lat", LatencyBuckets()) != h || conflict.Load() != 0 {
+		t.Fatalf("same bounds flagged as conflict (count=%d)", conflict.Load())
+	}
+	if r.Histogram("lat", nil) != h || conflict.Load() != 0 {
+		t.Fatalf("nil-bounds lookup flagged as conflict (count=%d)", conflict.Load())
+	}
+	// An equal-by-value copy must not conflict either.
+	cp := append([]float64(nil), LatencyBuckets()...)
+	if r.Histogram("lat", cp) != h || conflict.Load() != 0 {
+		t.Fatalf("value-equal bounds flagged as conflict (count=%d)", conflict.Load())
+	}
+	// Genuinely different bounds: same histogram back, conflict counted.
+	if r.Histogram("lat", SizeBuckets()) != h {
+		t.Fatal("conflicting bounds returned a different histogram")
+	}
+	if conflict.Load() != 1 {
+		t.Fatalf("bounds_conflict = %d, want 1", conflict.Load())
+	}
+	r.Histogram("lat", []float64{1, 2, 3})
+	if conflict.Load() != 2 {
+		t.Fatalf("bounds_conflict = %d, want 2", conflict.Load())
+	}
+}
+
 // TestConcurrent exercises the lock-free observation paths under -race.
 func TestConcurrent(t *testing.T) {
 	r := NewRegistry()
@@ -144,4 +177,52 @@ func TestConcurrent(t *testing.T) {
 	if got := r.Histogram("h", nil).Count(); got != 8000 {
 		t.Fatalf("concurrent histogram = %d, want 8000", got)
 	}
+}
+
+// TestSnapshotResetRace hammers Snapshot against Reset and live
+// observations. Before Reset took the write lock, both sides held
+// RLock and could interleave, letting a snapshot read half-zeroed
+// histograms; under -race this test is the regression guard.
+func TestSnapshotResetRace(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.Histogram("h", LatencyBuckets())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Counter("c").Inc()
+					r.Gauge("g").Add(1)
+					h.Observe(5e3)
+				}
+			}
+		}()
+	}
+	var walkers sync.WaitGroup
+	walkers.Add(2)
+	go func() {
+		defer walkers.Done()
+		for i := 0; i < 200; i++ {
+			s := r.Snapshot()
+			if hs, ok := s.Histograms["h"]; ok && hs.Count < 0 {
+				t.Error("snapshot observed negative count")
+				return
+			}
+		}
+	}()
+	go func() {
+		defer walkers.Done()
+		for i := 0; i < 200; i++ {
+			r.Reset()
+		}
+	}()
+	walkers.Wait()
+	close(stop)
+	wg.Wait()
 }

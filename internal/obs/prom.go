@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), which is what the monitor's /metrics endpoint
+// serves. Counters and gauges map directly; histograms are exported as
+// summaries — pre-computed p50/p95/p99 quantiles plus _sum and _count —
+// because the registry estimates quantiles at snapshot time rather than
+// shipping raw buckets. Dotted metric names become underscore-separated
+// (vault.get.ok → vault_get_ok); output is sorted by name so scrapes
+// diff cleanly.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		_, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
+			pn, pn, h.P50, pn, h.P95, pn, h.P99, pn, h.Sum, pn, h.Count)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted registry name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*: dots and dashes become underscores, any
+// other illegal rune becomes '_', and a leading digit gets a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

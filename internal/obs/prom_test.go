@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vault.get.degraded").Add(3)
+	r.Gauge("cluster.nodes.up").Set(12)
+	h := r.Histogram("vault.get.ok", LatencyBuckets())
+	for i := 0; i < 100; i++ {
+		h.Observe(1e6) // 1ms
+	}
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE vault_get_degraded counter",
+		"vault_get_degraded 3",
+		"# TYPE cluster_nodes_up gauge",
+		"cluster_nodes_up 12",
+		"# TYPE vault_get_ok summary",
+		`vault_get_ok{quantile="0.5"}`,
+		`vault_get_ok{quantile="0.99"}`,
+		"vault_get_ok_sum 1e+08",
+		"vault_get_ok_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must fit NAME{labels} VALUE with a legal name.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if strings.ContainsAny(name, ".-") {
+			t.Fatalf("unsanitized metric name in %q", line)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"vault.get.ok":                    "vault_get_ok",
+		"cluster.fetch.discarded.node03":  "cluster_fetch_discarded_node03",
+		"9lives":                          "_9lives",
+		"weird-name with spaces":          "weird_name_with_spaces",
+		"already_fine:subsystem":          "already_fine:subsystem",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Exporter receives each completed trace, synchronously, on the
+// goroutine that ended the root span. Implementations must be safe for
+// concurrent calls and must treat the trace as read-only (the ring and
+// other exporters share it).
+type Exporter interface {
+	Export(t *Trace)
+}
+
+// JSONL streams completed traces to a writer as one JSON object per
+// line — the structured event journal. The format round-trips through
+// ReadJSONL, so a journal written during a fault campaign can be
+// reloaded and inspected offline.
+type JSONL struct {
+	mu sync.Mutex
+	w  io.Writer
+	// Err holds the first write error; once set, later traces are
+	// dropped (an archival journal must never block the data path).
+	err error
+}
+
+// NewJSONL creates a JSONL exporter over w (typically an append-mode
+// file). The caller owns w's lifecycle; close it only after the tracer
+// can no longer complete traces.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+// Export writes one trace as a single JSON line.
+func (j *JSONL) Export(t *Trace) {
+	blob, err := json.Marshal(t)
+	if err != nil {
+		// Trace contains only plain data; marshal cannot fail.
+		panic("trace: jsonl marshal: " + err.Error())
+	}
+	blob = append(blob, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if _, err := j.w.Write(blob); err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadJSONL parses a journal written by JSONL back into traces.
+func ReadJSONL(r io.Reader) ([]*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []*Trace
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var t Trace
+		if err := json.Unmarshal(b, &t); err != nil {
+			return out, fmt.Errorf("trace: journal line %d: %w", line, err)
+		}
+		out = append(out, &t)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("trace: journal read: %w", err)
+	}
+	return out, nil
+}
+
+// Mem collects completed traces in memory — the exporter tests use.
+type Mem struct {
+	mu     sync.Mutex
+	traces []*Trace
+}
+
+// Export appends the trace.
+func (m *Mem) Export(t *Trace) {
+	m.mu.Lock()
+	m.traces = append(m.traces, t)
+	m.mu.Unlock()
+}
+
+// Traces returns the collected traces in completion order.
+func (m *Mem) Traces() []*Trace {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Trace(nil), m.traces...)
+}
+
+// Reset drops everything collected so far.
+func (m *Mem) Reset() {
+	m.mu.Lock()
+	m.traces = nil
+	m.mu.Unlock()
+}

@@ -1,0 +1,425 @@
+// Package trace is the hierarchical half of the observability layer: a
+// request-scoped span tree propagated through context.Context across the
+// whole I/O path — Vault.Put/Get/Renew/Scrub at the root, cluster
+// fetches and staged writes below, per-node probe attempts at the leaves
+// — with typed attributes (object, encoding, node, shard, bytes,
+// attempt) and structured events (shard.discarded, node.down,
+// backoff.slept, stage.committed). Where the flat metrics registry in
+// internal/obs answers "how is the archive doing in aggregate", a trace
+// answers "where did THIS degraded Get spend its time".
+//
+// Completed traces land in a bounded in-memory ring (for the monitor's
+// /traces endpoint and post-hoc inspection) and stream to any registered
+// Exporter (a JSONL journal file, an in-memory collector for tests).
+// Memory is bounded per trace too: spans and events beyond fixed caps
+// are counted in Trace.Dropped rather than accumulated.
+//
+// The flat obs.Registry.Span histograms keep filling unchanged: every
+// span that ends observes its duration into the "<name>.ok" or
+// "<name>.err" latency histogram of the tracer's registry, and when
+// tracing is disabled Tracer.Start degrades to exactly the old flat
+// timing (histogram only, no span tree, context untouched). When both
+// tracing and the registry's span timing are off, starting and ending a
+// span allocates nothing and never reads the clock — the disabled hot
+// path is free (see BenchmarkSpanDisabled).
+//
+// Concurrency: a Span value must be Ended exactly once and its
+// SetAttrs/Event methods called from one goroutine at a time, but
+// sibling spans of one trace may live on concurrent goroutines (the
+// stripe read's probe fan-out does exactly this) — span completion is
+// the only synchronised step, one short mutex acquisition per span.
+package trace
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securearchive/internal/obs"
+)
+
+// Bounds on per-trace memory. A vault op traces one span per probe
+// attempt and a handful of pipeline stages, so real traces sit far below
+// these; runaway instrumentation gets truncated and counted instead of
+// eating the heap.
+const (
+	maxSpansPerTrace = 512
+	maxEventsPerSpan = 64
+)
+
+// DefaultRingSize is how many completed traces a tracer retains for
+// Recent unless configured otherwise.
+const DefaultRingSize = 64
+
+// Tracer creates spans and collects completed traces. Disabled (the
+// default), it costs nothing beyond the flat histogram timing of its
+// registry; see SetEnabled.
+type Tracer struct {
+	reg     *obs.Registry
+	enabled atomic.Bool
+	idState atomic.Uint64
+
+	// hists caches the <name>.ok/<name>.err histogram pairs so span End
+	// does not concatenate strings or take the registry's map lock on
+	// the hot path.
+	hmu   sync.RWMutex
+	hists map[string]*histPair
+
+	// rmu guards the completed-trace ring and the exporter list. It is
+	// taken once per completed trace, not per span.
+	rmu       sync.Mutex
+	ring      []*Trace
+	ringCap   int
+	pos       int
+	completed uint64
+	exporters []Exporter
+}
+
+type histPair struct{ ok, err *obs.Histogram }
+
+// Option configures New.
+type Option func(*Tracer)
+
+// WithRingSize bounds the completed-trace ring (DefaultRingSize
+// otherwise; n < 1 keeps the default).
+func WithRingSize(n int) Option {
+	return func(t *Tracer) {
+		if n >= 1 {
+			t.ringCap = n
+		}
+	}
+}
+
+// New creates a tracer bridging span durations into reg's latency
+// histograms. Tracing itself starts disabled: until SetEnabled(true),
+// Start records flat histograms only, exactly like obs.Registry.Span.
+func New(reg *obs.Registry, opts ...Option) *Tracer {
+	t := &Tracer{
+		reg:     reg,
+		hists:   make(map[string]*histPair),
+		ringCap: DefaultRingSize,
+	}
+	t.idState.Store(uint64(time.Now().UnixNano()))
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+var defaultTracer = New(obs.Default())
+
+// Default returns the process-wide tracer, bridged into obs.Default().
+// The vault uses it unless pointed elsewhere (core.WithTracer).
+func Default() *Tracer { return defaultTracer }
+
+// SetEnabled flips span-tree recording. Disabled, Start degrades to the
+// flat histogram timing (or to a free no-op when the registry's span
+// timing is also off).
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether span trees are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// AddExporter registers an exporter; every subsequently completed trace
+// is handed to it synchronously on the goroutine that ended the root
+// span.
+func (t *Tracer) AddExporter(e Exporter) {
+	t.rmu.Lock()
+	t.exporters = append(t.exporters, e)
+	t.rmu.Unlock()
+}
+
+// Completed returns the number of traces completed so far.
+func (t *Tracer) Completed() uint64 {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	return t.completed
+}
+
+// Recent returns up to n completed traces, oldest first (all retained
+// traces when n <= 0). The returned slice is fresh; the traces are
+// shared and must be treated as read-only.
+func (t *Tracer) Recent(n int) []*Trace {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	total := len(t.ring)
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]*Trace, 0, total)
+	for i := 0; i < total; i++ {
+		idx := i
+		if total == t.ringCap {
+			idx = (t.pos + i) % t.ringCap
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out[total-n:]
+}
+
+// newTraceID draws a non-zero pseudo-random ID (splitmix64 over an
+// atomic counter seeded from the tracer's creation time).
+func (t *Tracer) newTraceID() ID {
+	for {
+		v := mix64(t.idState.Add(0x9E3779B97F4A7C15))
+		if v != 0 {
+			return ID(v)
+		}
+	}
+}
+
+// mix64 is the splitmix64 finalizer (same mixer the cluster's fault
+// plan uses; duplicated because neither package can import the other).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// active is one in-flight trace. Spans append themselves on End; the
+// root span's End seals the trace and hands it to the tracer.
+type active struct {
+	t     *Tracer
+	id    ID
+	next  atomic.Uint64 // span ID allocator; 1 is the root
+	drops atomic.Int64
+
+	mu    sync.Mutex
+	spans []*SpanRecord
+}
+
+// Span is a live span handle. The zero value is a valid no-op (every
+// method returns immediately), which is how the disabled paths stay
+// free. Copies share the same underlying record; End exactly once per
+// logical span, from any one copy.
+type Span struct {
+	tr    *Tracer
+	act   *active // nil in flat mode and for no-op spans
+	rec   *SpanRecord
+	name  string
+	start time.Time
+}
+
+// Recording reports whether the span is capturing a trace record (false
+// for no-op and flat-mode spans).
+func (s Span) Recording() bool { return s.rec != nil }
+
+// TraceID returns the owning trace's ID, or 0 when not recording.
+func (s Span) TraceID() ID {
+	if s.act == nil {
+		return 0
+	}
+	return s.act.id
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying the span; Child and
+// FromContext find it there. Flat-mode and no-op spans are not worth
+// carrying — the context is returned unchanged.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	if !s.Recording() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by the context, or a no-op span.
+func FromContext(ctx context.Context) Span {
+	s, _ := ctx.Value(ctxKey{}).(Span)
+	return s
+}
+
+// Start begins a span. If the context already carries a recording span,
+// the new span joins that trace as its child regardless of which tracer
+// created it; otherwise, with tracing enabled, it roots a new trace.
+// With tracing disabled it degrades to the flat histogram timing of
+// obs.Registry.Span (no tree, context unchanged), and with the
+// registry's span timing also off it is a free no-op. The attrs slice
+// is copied, never retained, so call sites may build it on the stack.
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, Span) {
+	if t == nil {
+		return ctx, Span{}
+	}
+	if parent := FromContext(ctx); parent.Recording() {
+		return parent.child(ctx, name, attrs)
+	}
+	if !t.enabled.Load() {
+		if t.reg != nil && t.reg.Enabled() {
+			return ctx, Span{tr: t, name: name, start: time.Now()} // flat mode
+		}
+		return ctx, Span{}
+	}
+	a := &active{t: t, id: t.newTraceID()}
+	a.next.Store(1)
+	now := time.Now()
+	rec := &SpanRecord{TraceID: a.id, SpanID: 1, Name: name, Start: now}
+	if len(attrs) > 0 {
+		rec.Attrs = append(rec.Attrs, attrs...)
+	}
+	s := Span{tr: t, act: a, rec: rec, name: name, start: now}
+	return ContextWithSpan(ctx, s), s
+}
+
+// Child begins a child of the span carried by the context, or a no-op
+// span when the context carries none (the cluster layer uses this: it
+// traces only when a vault-level span is ambient). The attrs slice is
+// copied, never retained.
+func Child(ctx context.Context, name string, attrs ...Attr) (context.Context, Span) {
+	parent := FromContext(ctx)
+	if !parent.Recording() {
+		return ctx, Span{}
+	}
+	return parent.child(ctx, name, attrs)
+}
+
+func (s Span) child(ctx context.Context, name string, attrs []Attr) (context.Context, Span) {
+	now := time.Now()
+	rec := &SpanRecord{
+		TraceID: s.act.id,
+		SpanID:  s.act.next.Add(1),
+		Parent:  s.rec.SpanID,
+		Name:    name,
+		Start:   now,
+	}
+	if len(attrs) > 0 {
+		rec.Attrs = append(rec.Attrs, attrs...)
+	}
+	c := Span{tr: s.tr, act: s.act, rec: rec, name: name, start: now}
+	return ContextWithSpan(ctx, c), c
+}
+
+// SetAttrs appends attributes to the span (results discovered after
+// Start: bytes fetched, shards committed). No-op when not recording.
+func (s Span) SetAttrs(attrs ...Attr) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, attrs...)
+}
+
+// Event records a structured event at the current offset into the span.
+// Events beyond the per-span cap are counted as dropped, not stored.
+// The attrs slice is copied, never retained.
+func (s Span) Event(name string, attrs ...Attr) {
+	if s.rec == nil {
+		return
+	}
+	if len(s.rec.Events) >= maxEventsPerSpan {
+		s.act.drops.Add(1)
+		return
+	}
+	ev := Event{Name: name, OffsetNs: time.Since(s.start).Nanoseconds()}
+	if len(attrs) > 0 {
+		ev.Attrs = append([]Attr(nil), attrs...)
+	}
+	s.rec.Events = append(s.rec.Events, ev)
+}
+
+// End completes the span: the duration lands in the registry's
+// "<name>.ok"/"<name>.err" histogram (the PR-3 flat metrics, unchanged),
+// the record joins its trace, and — when this is the root — the trace
+// seals, enters the ring, and goes to the exporters. Children should
+// end before their root; a straggler that ends after its root is
+// silently dropped from the sealed trace.
+func (s Span) End(err error) {
+	if s.tr == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.tr.observeSpan(s.name, d, err)
+	if s.rec == nil {
+		return
+	}
+	s.rec.DurNs = d.Nanoseconds()
+	if err != nil {
+		s.rec.Err = err.Error()
+	}
+	s.act.finish(s.rec)
+}
+
+func (a *active) finish(rec *SpanRecord) {
+	root := rec.Parent == 0
+	a.mu.Lock()
+	if root || len(a.spans) < maxSpansPerTrace {
+		a.spans = append(a.spans, rec)
+	} else {
+		a.drops.Add(1)
+	}
+	spans := a.spans
+	if root {
+		// Seal: later appends (stragglers) must not mutate the slice the
+		// sealed trace holds.
+		a.spans = nil
+	}
+	a.mu.Unlock()
+	if !root {
+		return
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].SpanID < spans[j].SpanID
+		}
+		return spans[i].Start.Before(spans[j].Start)
+	})
+	a.t.complete(&Trace{
+		ID:      a.id,
+		Root:    rec.Name,
+		Start:   rec.Start,
+		DurNs:   rec.DurNs,
+		Dropped: a.drops.Load(),
+		Spans:   spans,
+	})
+}
+
+func (t *Tracer) complete(tr *Trace) {
+	t.rmu.Lock()
+	if len(t.ring) < t.ringCap {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.pos] = tr
+		t.pos = (t.pos + 1) % t.ringCap
+	}
+	t.completed++
+	exps := t.exporters
+	t.rmu.Unlock()
+	for _, e := range exps {
+		e.Export(tr)
+	}
+}
+
+// observeSpan bridges a span duration into the flat registry: the same
+// "<name>.ok"/"<name>.err" histograms obs.Registry.Span fills, resolved
+// once per name and cached.
+func (t *Tracer) observeSpan(name string, d time.Duration, err error) {
+	if t.reg == nil || !t.reg.Enabled() {
+		return
+	}
+	t.hmu.RLock()
+	p, ok := t.hists[name]
+	t.hmu.RUnlock()
+	if !ok {
+		p = &histPair{
+			ok:  t.reg.Histogram(name+".ok", obs.LatencyBuckets()),
+			err: t.reg.Histogram(name+".err", obs.LatencyBuckets()),
+		}
+		t.hmu.Lock()
+		if prev, ok2 := t.hists[name]; ok2 {
+			p = prev
+		} else {
+			t.hists[name] = p
+		}
+		t.hmu.Unlock()
+	}
+	ns := float64(d.Nanoseconds())
+	if err != nil {
+		p.err.Observe(ns)
+	} else {
+		p.ok.Observe(ns)
+	}
+}
