@@ -11,6 +11,7 @@
 //	archivectl scrub -manifest ./store/secret.pdf.manifest.json [-repair]
 //	archivectl stats -encoding erasure -n 8 -t 4 -objects 32 [-offline 2] [-transient 0.2]
 //	archivectl serve -encoding erasure -n 8 -t 4 [-offline 2] [-transient 0.2] [-addr 127.0.0.1:8080]
+//	archivectl bench -encoding erasure -n 8 -t 4 -workers 1,4,16 -ops 256 [-offline 1] [-transient 0.1]
 //
 // Encodings: replication, erasure, aes, cascade, entropic, aont, shamir,
 // packed, lrss. After put, delete up to n−min node directories and get
@@ -63,13 +64,15 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "bench":
+		cmdBench(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: archivectl put|get|info|scrub|stats|serve [flags]")
+	fmt.Fprintln(os.Stderr, "usage: archivectl put|get|info|scrub|stats|serve|bench [flags]")
 	os.Exit(2)
 }
 

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	papereval [-figure1] [-table1] [-reencrypt] [-renewal] [-advantage] [-kernels] [-obs] [-all]
+//	papereval [-figure1] [-table1] [-reencrypt] [-renewal] [-advantage] [-kernels] [-obs] [-saturate] [-all]
 //
 // -kernels measures the GF(256) kernel and Reed-Solomon pipeline
 // throughput on the local machine and re-derives the §3.2 campaign
@@ -17,6 +17,12 @@
 // bandwidth purely from the obs metrics registry, and re-derives the
 // §3.2 campaign arithmetic from that measured bandwidth, writing the
 // results (including the full metrics snapshot) to -obs-out.
+//
+// -saturate runs the closed-loop saturation sweep: every encoding under
+// W = 1, 4, 16, 64 concurrent workers issuing a put/get/scrub mix,
+// reporting throughput and obs-derived latency percentiles to
+// -saturate-out. With -saturate-faults each encoding is additionally
+// measured with a fault plan active (degraded-mode curves).
 package main
 
 import (
@@ -45,11 +51,17 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_kernels.json", "output path for -kernels results")
 	obsBench := flag.Bool("obs", false, "measure vault read bandwidth via the obs registry and re-derive §3.2 from it")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for -obs results")
+	saturate := flag.Bool("saturate", false, "run the closed-loop saturation sweep (every encoding x W=1,4,16,64)")
+	satOut := flag.String("saturate-out", "BENCH_saturate.json", "output path for -saturate results")
+	satEnc := flag.String("saturate-enc", "", "comma-separated encoding-name filter for -saturate (substring match)")
+	satFaults := flag.Bool("saturate-faults", false, "also run each -saturate encoding with a fault plan active (degraded-mode curves)")
+	satOps := flag.Int("saturate-ops", 192, "total operations per -saturate cell")
+	satObjKiB := flag.Int("saturate-obj", 16, "object size in KiB for -saturate")
 	all := flag.Bool("all", false, "run everything")
 	objKiB := flag.Int("obj", 256, "object size in KiB for measurements")
 	flag.Parse()
 
-	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench {
+	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench && !*saturate {
 		*all = true
 	}
 	ran := false
@@ -79,6 +91,10 @@ func main() {
 	}
 	if *obsBench {
 		runObs(*obsOut, *objKiB)
+		ran = true
+	}
+	if *saturate {
+		runSaturate(*satOut, *satEnc, *satFaults, *satOps, *satObjKiB)
 		ran = true
 	}
 	if !ran {

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"securearchive/internal/cluster"
+	"securearchive/internal/core"
+	"securearchive/internal/group"
+	"securearchive/internal/obs"
+	"securearchive/internal/workload"
+)
+
+// saturateWorkers are the closed-loop concurrency levels the sweep
+// measures. The acceptance gate compares 16 against 1.
+var saturateWorkers = []int{1, 4, 16, 64}
+
+// saturateReport is the JSON schema written by -saturate: one throughput/
+// latency curve per encoding (and, with -saturate-faults, a second
+// degraded-mode curve per encoding), measured by the closed-loop
+// internal/workload driver.
+type saturateReport struct {
+	Schema    string `json:"schema"`
+	GoMaxProc int    `json:"gomaxprocs"`
+	// Workload parameters (shared by every cell).
+	ObjectBytes int            `json:"object_bytes"`
+	TotalOps    int            `json:"total_ops"`
+	Preload     int            `json:"preload"`
+	Mix         workload.OpMix `json:"mix"`
+	Seed        int64          `json:"seed"`
+	Encodings   []saturateRuns `json:"encodings"`
+}
+
+// saturateRuns is one encoding's worker sweep.
+type saturateRuns struct {
+	Encoding string `json:"encoding"`
+	// Faulted marks the degraded-mode run (fault plan active).
+	Faulted bool                         `json:"faulted"`
+	Runs    []*workload.SaturationResult `json:"runs"`
+	// ScalingX16v1 is ops/s at W=16 over ops/s at W=1 — the number the
+	// stripe-scaling gate checks (≥ 2 expected on a ≥ 4-core box; on a
+	// single-core box it only measures lock overhead, not parallelism).
+	ScalingX16v1 float64 `json:"scaling_x_16_vs_1"`
+}
+
+// saturateFaultPlan is the degraded-mode pressure for -saturate-faults:
+// background transients (retried), read-path bit rot (digest-discarded,
+// feeding the dirty queue and scrub repairs), and two slow nodes. No
+// hard-down node — Put stages all n shards, so a permanently offline
+// node would fail every write rather than degrade reads.
+func saturateFaultPlan() *cluster.FaultPlan {
+	return &cluster.FaultPlan{
+		Seed:    7,
+		Default: cluster.NodeFaults{TransientProb: 0.05, CorruptProb: 0.02},
+		Nodes: map[int]cluster.NodeFaults{
+			5: {TransientProb: 0.05, CorruptProb: 0.02, Latency: 200 * time.Microsecond},
+			6: {TransientProb: 0.05, CorruptProb: 0.02, Latency: 500 * time.Microsecond},
+		},
+	}
+}
+
+// runSaturate sweeps every Figure 1 encoding through the closed-loop
+// driver at saturateWorkers concurrency levels, writing the curves to
+// outPath. encFilter, when non-empty, is a comma-separated substring
+// filter over encoding names (case-insensitive).
+func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB int) {
+	fmt.Println("=== closed-loop saturation sweep (striped-vault scaling) ===")
+	objBytes := objKiB << 10
+	cfg := workload.SaturationConfig{
+		TotalOps:    totalOps,
+		ObjectBytes: objBytes,
+		Preload:     6,
+		Mix:         workload.DefaultMix(),
+		Seed:        1,
+	}
+	rep := saturateReport{
+		Schema:      "securearchive/bench-saturate/v1",
+		GoMaxProc:   runtime.GOMAXPROCS(0),
+		ObjectBytes: objBytes,
+		TotalOps:    cfg.TotalOps,
+		Preload:     cfg.Preload,
+		Mix:         cfg.Mix,
+		Seed:        cfg.Seed,
+	}
+
+	fcfg := core.Figure1Config{N: 8, K: 4, T: 4, PackCount: 3, ObjectLen: objBytes}
+	var filters []string
+	for _, f := range strings.Split(encFilter, ",") {
+		if f = strings.TrimSpace(strings.ToLower(f)); f != "" {
+			filters = append(filters, f)
+		}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "encoding\tfaults\tW\tops/s\tput p99 (µs)\tget p99 (µs)\terrs\n")
+	for _, enc := range core.Figure1Encodings(fcfg) {
+		if len(filters) > 0 {
+			name := strings.ToLower(enc.Name())
+			keep := false
+			for _, f := range filters {
+				if strings.Contains(name, f) {
+					keep = true
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		modes := []bool{false}
+		if withFaults {
+			modes = append(modes, true)
+		}
+		for _, faulted := range modes {
+			enc, faulted := enc, faulted
+			mk := func() (*core.Vault, *obs.Registry, error) {
+				reg := obs.NewRegistry()
+				c := cluster.New(8, nil)
+				c.UseRegistry(reg)
+				if faulted {
+					c.SetFaultPlan(saturateFaultPlan())
+				}
+				v, err := core.NewVault(c, enc,
+					core.WithGroup(group.Test()), core.WithRegistry(reg))
+				return v, reg, err
+			}
+			runs, err := workload.SweepWorkers(saturateWorkers, cfg, mk)
+			if err != nil {
+				fatal(err)
+			}
+			sr := saturateRuns{
+				Encoding:     enc.Name(),
+				Faulted:      faulted,
+				Runs:         runs,
+				ScalingX16v1: workload.ScalingX(runs, 1, 16),
+			}
+			rep.Encodings = append(rep.Encodings, sr)
+			for _, r := range runs {
+				fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%.0f\t%.0f\t%d\n",
+					enc.Name(), faulted, r.Workers, r.OpsPerSec,
+					r.PutLatency.P99Ns/1e3, r.GetLatency.P99Ns/1e3, r.Errors)
+			}
+		}
+	}
+	w.Flush()
+
+	fmt.Println("\nscaling (ops/s at W=16 over W=1):")
+	for _, sr := range rep.Encodings {
+		tag := ""
+		if sr.Faulted {
+			tag = " [faults]"
+		}
+		fmt.Printf("  %-34s%s %.2fx\n", sr.Encoding, tag, sr.ScalingX16v1)
+	}
+	if rep.GoMaxProc < 4 {
+		fmt.Printf("note: GOMAXPROCS=%d — the ≥2x stripe-scaling gate applies only on ≥4-core boxes\n", rep.GoMaxProc)
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+}

@@ -78,21 +78,35 @@ func (n *Node) BytesIn() int64 { return n.bytesIn.Load() }
 // concurrently with traffic.
 func (n *Node) BytesOut() int64 { return n.bytesOut.Load() }
 
-// Cluster is a set of nodes sharing an epoch clock.
+// Cluster is a set of nodes sharing an epoch clock. The epoch and the
+// traffic counters are atomics: the data path touches only the node
+// being addressed (plus lock-free accounting), so operations against
+// distinct nodes never serialise on cluster-wide state — the property
+// the vault's striped locking relies on for concurrent staging.
 type Cluster struct {
-	mu    sync.Mutex
 	nodes []*Node
-	epoch int
+	epoch atomic.Int64
 
-	// TotalBytesMoved sums every shard transfer in either direction.
-	TotalBytesMoved int64
-	Puts            int
-	Gets            int
+	// bytesMoved/puts/gets sum every shard transfer in either direction;
+	// read them through TotalBytesMoved/Puts/Gets.
+	bytesMoved atomic.Int64
+	puts       atomic.Int64
+	gets       atomic.Int64
 
 	// metrics mirrors the accounting above into the obs registry; see
 	// metrics.go and UseRegistry.
 	metrics *clusterMetrics
 }
+
+// TotalBytesMoved returns the bytes transferred in either direction
+// across all nodes so far. Safe to call concurrently with traffic.
+func (c *Cluster) TotalBytesMoved() int64 { return c.bytesMoved.Load() }
+
+// Puts returns the number of shard writes (committed and staged) so far.
+func (c *Cluster) Puts() int { return int(c.puts.Load()) }
+
+// Gets returns the number of shard reads so far.
+func (c *Cluster) Gets() int { return int(c.gets.Load()) }
 
 // DefaultRegions is a plausible geo-dispersal for examples and tests.
 var DefaultRegions = []string{"us-east", "eu-west", "ap-south", "sa-east", "af-south", "au-sydney"}
@@ -120,19 +134,10 @@ func New(n int, regions []string) *Cluster {
 func (c *Cluster) Size() int { return len(c.nodes) }
 
 // Epoch returns the current epoch.
-func (c *Cluster) Epoch() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.epoch
-}
+func (c *Cluster) Epoch() int { return int(c.epoch.Load()) }
 
 // AdvanceEpoch increments the epoch clock and returns the new epoch.
-func (c *Cluster) AdvanceEpoch() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.epoch++
-	return c.epoch
-}
+func (c *Cluster) AdvanceEpoch() int { return int(c.epoch.Add(1)) }
 
 // Node returns the node with the given ID.
 func (c *Cluster) Node(id int) (*Node, error) {
@@ -184,12 +189,9 @@ func (c *Cluster) put(nodeID int, key ShardKey, data []byte) error {
 		return err
 	}
 	cp := append([]byte(nil), data...)
-	c.mu.Lock()
-	epoch := c.epoch
-	c.TotalBytesMoved += int64(len(data))
-	c.Puts++
-	c.mu.Unlock()
-	n.shards[key] = Shard{Key: key, Epoch: epoch, Data: cp}
+	c.bytesMoved.Add(int64(len(data)))
+	c.puts.Add(1)
+	n.shards[key] = Shard{Key: key, Epoch: c.Epoch(), Data: cp}
 	n.bytesIn.Add(int64(len(data)))
 	return nil
 }
@@ -228,10 +230,8 @@ func (c *Cluster) get(nodeID int, key ShardKey) (Shard, error) {
 	}
 	out := Shard{Key: sh.Key, Epoch: sh.Epoch, Data: append([]byte(nil), sh.Data...)}
 	n.bytesOut.Add(int64(len(sh.Data)))
-	c.mu.Lock()
-	c.TotalBytesMoved += int64(len(sh.Data))
-	c.Gets++
-	c.mu.Unlock()
+	c.bytesMoved.Add(int64(len(sh.Data)))
+	c.gets.Add(1)
 	return out, nil
 }
 

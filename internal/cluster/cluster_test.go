@@ -130,11 +130,11 @@ func TestAccounting(t *testing.T) {
 	if c.ObjectBytes("other") != 0 {
 		t.Fatal("phantom object bytes")
 	}
-	if c.TotalBytesMoved != 300 {
-		t.Fatalf("moved %d, want 300", c.TotalBytesMoved)
+	if c.TotalBytesMoved() != 300 {
+		t.Fatalf("moved %d, want 300", c.TotalBytesMoved())
 	}
-	if c.Puts != 2 || c.Gets != 1 {
-		t.Fatalf("ops %d/%d, want 2/1", c.Puts, c.Gets)
+	if c.Puts() != 2 || c.Gets() != 1 {
+		t.Fatalf("ops %d/%d, want 2/1", c.Puts(), c.Gets())
 	}
 	n, _ := c.Node(0)
 	if n.BytesIn() != 100 || n.BytesOut() != 100 {

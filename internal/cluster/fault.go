@@ -82,9 +82,9 @@ func (c *Cluster) SetFaultPlan(p *FaultPlan) {
 }
 
 // injectFault applies the node's fault plan to one data-path operation.
-// Called with n.mu held (the brief c.mu acquisition for the epoch matches
-// Put/Get's existing n.mu → c.mu order). For reads, key names the shard
-// that bit rot would damage.
+// Called with n.mu held (the epoch read is a lock-free atomic, so no
+// cluster-level lock is taken under the node lock). For reads, key names
+// the shard that bit rot would damage.
 func (c *Cluster) injectFault(n *Node, read bool, key ShardKey) error {
 	f := n.faults
 	if f == nil {

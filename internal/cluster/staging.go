@@ -57,15 +57,12 @@ func (c *Cluster) putStaged(nodeID int, stage string, key ShardKey, data []byte)
 		return fmt.Errorf("%w: node %d %v staged by %q", ErrDuplicateKey, nodeID, key, prev.stage)
 	}
 	cp := append([]byte(nil), data...)
-	c.mu.Lock()
-	epoch := c.epoch
-	c.TotalBytesMoved += int64(len(data))
-	c.Puts++
-	c.mu.Unlock()
+	c.bytesMoved.Add(int64(len(data)))
+	c.puts.Add(1)
 	if n.staged == nil {
 		n.staged = make(map[ShardKey]stagedShard)
 	}
-	n.staged[key] = stagedShard{stage: stage, sh: Shard{Key: key, Epoch: epoch, Data: cp}}
+	n.staged[key] = stagedShard{stage: stage, sh: Shard{Key: key, Epoch: c.Epoch(), Data: cp}}
 	n.bytesIn.Add(int64(len(data)))
 	return nil
 }
@@ -74,10 +71,13 @@ func (c *Cluster) putStaged(nodeID int, stage string, key ShardKey, data []byte)
 // into the live shard set, across all nodes, replacing any previous
 // version of each key. Commit is metadata-only — the bytes already moved
 // at stage time — so it succeeds even for nodes that went offline after
-// staging, and no fault plan applies. Returns the number of shards
-// committed.
+// staging, and no fault plan applies. Every shard in the stage is
+// stamped with the epoch current at commit time: a committed stripe is
+// never mixed-epoch, even when AdvanceEpoch races the staging writes.
+// Returns the number of shards committed.
 func (c *Cluster) CommitStage(stage string) int {
 	c.metrics.commits.Inc()
+	epoch := c.Epoch()
 	committed := 0
 	for _, n := range c.nodes {
 		n.mu.Lock()
@@ -85,6 +85,7 @@ func (c *Cluster) CommitStage(stage string) int {
 			if st.stage != stage {
 				continue
 			}
+			st.sh.Epoch = epoch
 			n.shards[key] = st.sh
 			delete(n.staged, key)
 			committed++

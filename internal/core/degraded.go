@@ -51,10 +51,14 @@ type vaultMetrics struct {
 	putBytes, getBytes *obs.Histogram
 	encodeMBs          *obs.Histogram
 	decodeMBs          *obs.Histogram
-	readDiscarded      *obs.Counter
-	readDegraded       *obs.Counter
-	readInsufficient   *obs.Counter
-	scrubRepairs       *obs.Counter
+	// lockWaitNs records time spent blocked acquiring an object's lock —
+	// near-zero when traffic spreads across objects (the striped design's
+	// point), visible when workers pile onto one id.
+	lockWaitNs       *obs.Histogram
+	readDiscarded    *obs.Counter
+	readDegraded     *obs.Counter
+	readInsufficient *obs.Counter
+	scrubRepairs     *obs.Counter
 }
 
 func newVaultMetrics(reg *obs.Registry, encName string) *vaultMetrics {
@@ -65,6 +69,7 @@ func newVaultMetrics(reg *obs.Registry, encName string) *vaultMetrics {
 		getBytes:         reg.Histogram("vault.get.bytes", obs.SizeBuckets()),
 		encodeMBs:        reg.Histogram("encode."+slug+".mbps", obs.RateBuckets()),
 		decodeMBs:        reg.Histogram("decode."+slug+".mbps", obs.RateBuckets()),
+		lockWaitNs:       reg.Histogram("vault.lock.wait_ns", obs.LatencyBuckets()),
 		readDiscarded:    reg.Counter("vault.read.discarded"),
 		readDegraded:     reg.Counter("vault.read.degraded"),
 		readInsufficient: reg.Counter("vault.read.insufficient"),

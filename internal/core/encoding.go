@@ -166,6 +166,9 @@ func (e Erasure) Shards() (int, int) { return e.N, e.K }
 
 // Encode implements Encoding.
 func (e Erasure) Encode(data []byte, _ io.Reader) (*Encoded, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
 	code, err := rs.New(e.K, e.N-e.K, rs.WithParallelism(e.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
@@ -217,6 +220,9 @@ func (t TraditionalEncryption) Shards() (int, int) { return t.N, t.K }
 
 // Encode implements Encoding.
 func (t TraditionalEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
 	keys, err := cascade.GenerateKeys([]cascade.Scheme{cascade.AES256CTR}, rnd)
 	if err != nil {
 		return nil, err
@@ -292,6 +298,9 @@ func (c CascadeEncryption) Shards() (int, int) { return c.N, c.K }
 
 // Encode implements Encoding.
 func (c CascadeEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
 	keys, err := cascade.GenerateKeys(cascade.Schemes(), rnd)
 	if err != nil {
 		return nil, err
@@ -471,6 +480,9 @@ func (a AONTRS) Shards() (int, int) { return a.N, a.K }
 
 // Encode implements Encoding.
 func (a AONTRS) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
 	sch, err := aont.NewScheme(a.K, a.N, rs.WithParallelism(a.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
@@ -527,6 +539,9 @@ func (s SecretSharing) Shards() (int, int) { return s.N, s.T }
 
 // Encode implements Encoding.
 func (s SecretSharing) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
 	shares, err := shamir.Split(data, s.N, s.T, rnd, shamir.WithParallelism(s.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
@@ -584,6 +599,9 @@ func (p PackedSharing) Shards() (int, int) { return p.N, p.T + p.K }
 
 // Encode implements Encoding.
 func (p PackedSharing) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
 	shares, err := packed.Split(data, packed.Params{N: p.N, T: p.T, K: p.K}, rnd, packed.WithParallelism(p.Par))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
@@ -654,6 +672,9 @@ func (l LRSS) lrssParams() lrss.Params {
 // Encode implements Encoding. Each shard serialises the party's full LRSS
 // share (source, masked share, seed shares).
 func (l LRSS) Encode(data []byte, rnd io.Reader) (*Encoded, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
 	shares, err := lrss.Split(data, l.lrssParams(), rnd)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)

@@ -78,14 +78,26 @@ func (v *Vault) Scrub(id string) (*ScrubReport, error) {
 // ScrubContext is Scrub rooted in (or joined to) a trace: the audit
 // fetch, the repair decode/verify, and the staged rewrite nest under one
 // "vault.scrub" span, with a "scrub.repaired" event when the stripe was
-// rewritten.
+// rewritten. The scrub holds only the object's write lock, so scrubs and
+// traffic on other objects proceed concurrently.
 func (v *Vault) ScrubContext(ctx context.Context, id string) (*ScrubReport, error) {
 	ctx, sp := v.tracer.Start(ctx, "vault.scrub", trace.Str("object", id))
-	v.mu.Lock()
-	rep, err := v.scrubLocked(ctx, id)
-	v.mu.Unlock()
+	rep, err := v.scrub(ctx, id)
 	sp.End(err)
 	return rep, err
+}
+
+func (v *Vault) scrub(ctx context.Context, id string) (*ScrubReport, error) {
+	obj := v.lookup(id)
+	if obj == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	v.lockWait(trace.FromContext(ctx), obj.mu.Lock)
+	defer obj.mu.Unlock()
+	if !obj.live.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return v.scrubObject(ctx, id, obj)
 }
 
 // ScrubAll scrubs every object (in id order), returning one report per
@@ -95,21 +107,25 @@ func (v *Vault) ScrubAll() ([]*ScrubReport, error) {
 }
 
 // ScrubAllContext is ScrubAll with each object's scrub rooted in (or
-// joined to) its own "vault.scrub" trace.
+// joined to) its own "vault.scrub" trace. The sweep holds the vault's
+// sweep lock (serialising concurrent sweeps against each other) and
+// takes each object's lock in turn — never more than one at a time, so
+// per-object traffic interleaves with the sweep. Objects deleted after
+// the sweep snapshot are skipped silently.
 func (v *Vault) ScrubAllContext(ctx context.Context) ([]*ScrubReport, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	ids := make([]string, 0, len(v.objects))
-	for id := range v.objects {
-		ids = append(ids, id)
-	}
+	v.sweepMu.Lock()
+	defer v.sweepMu.Unlock()
+	ids := v.Objects()
 	sort.Strings(ids)
 	var reports []*ScrubReport
 	var errs []error
 	for _, id := range ids {
 		sctx, sp := v.tracer.Start(ctx, "vault.scrub", trace.Str("object", id))
-		rep, err := v.scrubLocked(sctx, id)
+		rep, err := v.scrub(sctx, id)
 		sp.End(err)
+		if errors.Is(err, ErrNotFound) {
+			continue // deleted since the snapshot
+		}
 		if rep != nil {
 			reports = append(reports, rep)
 		}
@@ -120,11 +136,9 @@ func (v *Vault) ScrubAllContext(ctx context.Context) ([]*ScrubReport, error) {
 	return reports, errors.Join(errs...)
 }
 
-func (v *Vault) scrubLocked(ctx context.Context, id string) (*ScrubReport, error) {
-	obj, ok := v.objects[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
-	}
+// scrubObject is the scrub body; callers hold obj.mu in write mode and
+// have checked liveness.
+func (v *Vault) scrubObject(ctx context.Context, id string, obj *vaultObject) (*ScrubReport, error) {
 	n, _ := v.Encoding.Shards()
 	res := v.Cluster.FetchStripeCtx(ctx, id, n, n, v.retry, nil)
 	shards := res.Shards
@@ -165,7 +179,7 @@ func (v *Vault) scrubLocked(ctx context.Context, id string) (*ScrubReport, error
 	if err != nil {
 		return rep, fmt.Errorf("core: scrub %s: re-encode: %w", id, err)
 	}
-	if err := v.disperseLocked(ctx, id, enc); err != nil {
+	if err := v.disperse(ctx, id, enc); err != nil {
 		return rep, fmt.Errorf("core: scrub %s: rewrite rolled back: %w", id, err)
 	}
 	obj.enc.ClientSecret = enc.ClientSecret
@@ -179,12 +193,4 @@ func (v *Vault) scrubLocked(ctx context.Context, id string) (*ScrubReport, error
 		trace.Int("missing", len(rep.Missing)), trace.Int("corrupt", len(rep.Corrupt)))
 	v.clearDirty(id)
 	return rep, nil
-}
-
-// clearDirty removes an object from the scrub queue once its stripe is
-// known healthy again.
-func (v *Vault) clearDirty(id string) {
-	v.dirtyMu.Lock()
-	delete(v.dirty, id)
-	v.dirtyMu.Unlock()
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"securearchive/internal/cluster"
@@ -19,14 +20,21 @@ import (
 	"securearchive/internal/tstamp"
 )
 
+// stripeCount is the number of registry lock stripes. Power of two so the
+// FNV hash reduces with a mask; 64 stripes keep the collision probability
+// low for realistic worker counts while the array stays cache-resident.
+const stripeCount = 64
+
 // Vault is the framework's user-facing archive: an Encoding composed with
 // cluster dispersal, per-object integrity chains, and renewal. It is what
 // the examples and the archivectl CLI drive.
 //
-// A Vault is safe for concurrent use. Put encodes outside the lock so
-// that several objects can be encoded at once (each encode may itself fan
-// out across goroutines; see WithParallelism); Gets run concurrently
-// under a read lock.
+// A Vault is safe for concurrent use, and operations on distinct objects
+// proceed fully in parallel: the object registry is sharded across
+// stripeCount lock stripes (fnv(id) % stripeCount), each object carries
+// its own RWMutex, and dispersal — encode, stage, commit — runs outside
+// every stripe lock. See DESIGN.md "Concurrency model" for the lock
+// ordering invariants.
 type Vault struct {
 	Cluster  *cluster.Cluster
 	Encoding Encoding
@@ -39,35 +47,88 @@ type Vault struct {
 	// retry bounds per-node retries on transient cluster faults.
 	retry cluster.RetryPolicy
 
-	// mu guards objects and the read-modify-write sequences on the
-	// per-object state. The CPU-heavy encode/decode work runs outside
-	// (Put) or under the read side (Get) of the lock.
-	mu      sync.RWMutex
-	objects map[string]*vaultObject
-	// stageSeq uniquifies stage tokens; guarded by mu (writers hold the
-	// write lock when dispersing).
-	stageSeq int
+	// stripes shard the object registry (and the dirty queue) by
+	// fnv(id) % stripeCount. A stripe's mutex guards only its maps —
+	// lookup, insert, remove — never the I/O or CPU work of an operation,
+	// which runs under the object's own lock (or no lock at all for
+	// encode). Lock order: a goroutine may acquire a stripe mutex while
+	// holding an object mutex (dirty marking, registry removal), but must
+	// never block on a contended object mutex while holding any stripe
+	// mutex — Put's reservation locks only a freshly created object that
+	// no other goroutine can reach yet.
+	stripes [stripeCount]vaultStripe
+
+	// sweepMu serialises cross-object sweeps (ScrubAll today; an
+	// epoch-wide renewal campaign would take it too) against each other,
+	// so two concurrent sweeps don't double-repair the same stripes.
+	// Per-object operations never touch it.
+	sweepMu sync.Mutex
+
+	// stageSeq uniquifies stage tokens across concurrent dispersals.
+	stageSeq atomic.Int64
 
 	// obsReg/obsm are the metrics registry and pre-resolved instruments;
 	// see degraded.go. tracer roots one hierarchical trace per vault op
-	// (Put/Get/Renew/Scrub) and bridges span durations into obsReg's
-	// histograms; disabled (the default), it degrades to exactly the flat
-	// Span timing. dirty (own lock: Gets only hold mu's read side) queues
-	// objects whose reads discarded rotted shards for ScrubAll.
-	obsReg  *obs.Registry
-	obsm    *vaultMetrics
-	tracer  *trace.Tracer
-	dirtyMu sync.Mutex
-	dirty   map[string]struct{}
+	// (Put/Get/Renew/Scrub/Delete) and bridges span durations into
+	// obsReg's histograms; disabled (the default), it degrades to exactly
+	// the flat Span timing.
+	obsReg *obs.Registry
+	obsm   *vaultMetrics
+	tracer *trace.Tracer
 }
 
+// vaultStripe is one shard of the object registry.
+type vaultStripe struct {
+	mu      sync.RWMutex
+	objects map[string]*vaultObject
+	// dirty queues objects whose reads discarded rotted shards for
+	// ScrubAll; sharded with the registry so marking dirty contends only
+	// within the stripe.
+	dirty map[string]struct{}
+}
+
+// vaultObject is one archived object's client-side state.
 type vaultObject struct {
+	// mu serialises mutators (the initial Put's dispersal, RenewShares,
+	// Scrub, Delete) and guards the fields below. Readers hold the read
+	// side across the whole fetch/decode/verify so they never observe a
+	// half-rewritten shard set or a chain/digest mismatch.
+	mu sync.RWMutex
+	// live is false while the initial Put is still dispersing and again
+	// after Delete: a goroutine that found the registry entry must treat
+	// a non-live object as absent. Atomic so listings can skim it without
+	// the object lock.
+	live atomic.Bool
+
 	enc   *Encoded
 	chain *tstamp.Chain
 	// digests are per-shard SHA-256 digests of the current encoding,
 	// kept client-side: degraded reads use them to discard rotted shards
 	// and probe further nodes, and Scrub uses them to localise damage.
 	digests [][sha256.Size]byte
+}
+
+// stripeIndex hashes an object id onto its lock stripe (FNV-1a).
+func stripeIndex(id string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return h & (stripeCount - 1)
+}
+
+func (v *Vault) stripe(id string) *vaultStripe { return &v.stripes[stripeIndex(id)] }
+
+// lookup fetches the registry entry for id, or nil. The returned object
+// may be non-live (a Put still dispersing, or deleted); callers must
+// check live under (or after acquiring) the object lock.
+func (v *Vault) lookup(id string) *vaultObject {
+	st := v.stripe(id)
+	st.mu.RLock()
+	obj := st.objects[id]
+	st.mu.RUnlock()
+	return obj
 }
 
 // Errors returned by Vault.
@@ -126,9 +187,11 @@ func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, er
 		Group:         group.Default(),
 		rnd:           rand.Reader,
 		retry:         cluster.DefaultRetry,
-		objects:       make(map[string]*vaultObject),
 		obsReg:        obs.Default(),
-		dirty:         make(map[string]struct{}),
+	}
+	for i := range v.stripes {
+		v.stripes[i].objects = make(map[string]*vaultObject)
+		v.stripes[i].dirty = make(map[string]struct{})
 	}
 	for _, o := range opts {
 		o(v)
@@ -144,6 +207,20 @@ func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, er
 		}
 	}
 	return v, nil
+}
+
+// lockWait acquires lock() and records the time spent blocked on it in
+// the vault.lock.wait_ns histogram — the contention attribution for the
+// striped design: near-zero when traffic spreads across objects, visible
+// when workers pile onto one id.
+func (v *Vault) lockWait(sp trace.Span, lock func()) {
+	start := time.Now()
+	lock()
+	w := time.Since(start)
+	v.obsm.lockWaitNs.Observe(float64(w.Nanoseconds()))
+	if w >= time.Millisecond {
+		sp.SetAttrs(trace.Int64("lock_wait_ns", w.Nanoseconds()))
+	}
 }
 
 // Put archives data under id: encode, disperse one shard per node, and
@@ -165,16 +242,17 @@ func (v *Vault) PutContext(ctx context.Context, id string, data []byte) error {
 }
 
 func (v *Vault) put(ctx context.Context, id string, data []byte) error {
-	// Cheap early check; racing Puts of the same id are caught again under
-	// the write lock below.
-	v.mu.RLock()
-	_, exists := v.objects[id]
-	v.mu.RUnlock()
+	st := v.stripe(id)
+	// Cheap early check; racing Puts of the same id are caught again at
+	// reservation time below.
+	st.mu.RLock()
+	_, exists := st.objects[id]
+	st.mu.RUnlock()
 	if exists {
 		return fmt.Errorf("%w: %s", ErrExists, id)
 	}
 	// The CPU-heavy work — encoding and chain construction — runs outside
-	// the lock so that concurrent Puts of different objects overlap.
+	// every lock so that concurrent Puts overlap even within a stripe.
 	_, esp := trace.Child(ctx, "vault.encode", trace.Int("bytes", len(data)))
 	encStart := time.Now()
 	enc, err := v.Encoding.Encode(data, v.rnd)
@@ -189,41 +267,57 @@ func (v *Vault) put(ctx context.Context, id string, data []byte) error {
 		return err
 	}
 
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if _, ok := v.objects[id]; ok {
+	// Reserve the id: insert a non-live entry with its writer lock held,
+	// so duplicate Puts fail fast while concurrent Gets that find the
+	// entry block until the dispersal commits (then read it) or aborts
+	// (then see ErrNotFound). The stripe mutex covers only the map
+	// insert; locking the fresh object cannot block.
+	obj := &vaultObject{}
+	obj.mu.Lock()
+	st.mu.Lock()
+	if _, ok := st.objects[id]; ok {
+		st.mu.Unlock()
+		obj.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrExists, id)
 	}
-	// Stage-then-commit: a multi-shard write that fails partway aborts
-	// its stage and leaves no committed shards behind — no orphans
-	// inflating StoredBytes, no unregistered objects.
-	if err := v.disperseLocked(ctx, id, enc); err != nil {
+	st.objects[id] = obj
+	st.mu.Unlock()
+
+	// Stage-then-commit outside the stripe lock: a multi-shard write that
+	// fails partway aborts its stage and leaves no committed shards
+	// behind — no orphans inflating StoredBytes, no registered entry.
+	if err := v.disperse(ctx, id, enc); err != nil {
+		st.mu.Lock()
+		delete(st.objects, id)
+		st.mu.Unlock()
+		obj.mu.Unlock()
 		return err
 	}
 	// The vault keeps client-side secrets and the chain; shards live on
 	// nodes only.
-	v.objects[id] = &vaultObject{
-		enc: &Encoded{
-			Scheme:       enc.Scheme,
-			PlainLen:     enc.PlainLen,
-			ClientSecret: enc.ClientSecret,
-			PublicMeta:   enc.PublicMeta,
-		},
-		chain:   chain,
-		digests: ShardDigests(enc.Shards),
+	obj.enc = &Encoded{
+		Scheme:       enc.Scheme,
+		PlainLen:     enc.PlainLen,
+		ClientSecret: enc.ClientSecret,
+		PublicMeta:   enc.PublicMeta,
 	}
+	obj.chain = chain
+	obj.digests = ShardDigests(enc.Shards)
+	obj.live.Store(true)
+	obj.mu.Unlock()
 	return nil
 }
 
-// disperseLocked writes one encoding's shards to the cluster atomically:
-// every shard is staged under a fresh stage token (retrying transient
-// faults per the vault's policy), then the whole set commits as a single
-// key swap. Any staging error aborts the stage, so the cluster never
-// holds a mix of old and new shards for the object. Callers hold the
-// write lock.
-func (v *Vault) disperseLocked(ctx context.Context, id string, enc *Encoded) error {
-	v.stageSeq++
-	stage := fmt.Sprintf("vault:%s#%d", id, v.stageSeq)
+// disperse writes one encoding's shards to the cluster atomically: every
+// shard is staged under a fresh stage token (retrying transient faults
+// per the vault's policy), then the whole set commits as a single key
+// swap. Any staging error aborts the stage, so the cluster never holds a
+// mix of old and new shards for the object. Callers hold the object's
+// write lock (never a stripe lock): concurrent dispersals of distinct
+// objects overlap fully, and the atomic stageSeq keeps their tokens
+// distinct.
+func (v *Vault) disperse(ctx context.Context, id string, enc *Encoded) error {
+	stage := fmt.Sprintf("vault:%s#%d", id, v.stageSeq.Add(1))
 	ctx, ssp := trace.Child(ctx, "cluster.stage", trace.Str("object", id))
 	for i, sh := range enc.Shards {
 		if sh == nil {
@@ -259,9 +353,7 @@ func (v *Vault) Get(id string) ([]byte, error) {
 func (v *Vault) GetContext(ctx context.Context, id string) ([]byte, error) {
 	ctx, sp := v.tracer.Start(ctx, "vault.get",
 		trace.Str("object", id), trace.Str("encoding", v.Encoding.Name()))
-	v.mu.RLock()
-	data, err := v.getLocked(ctx, id)
-	v.mu.RUnlock()
+	data, err := v.get(ctx, id)
 	if err == nil {
 		sp.SetAttrs(trace.Int("bytes", len(data)))
 	}
@@ -269,24 +361,33 @@ func (v *Vault) GetContext(ctx context.Context, id string) ([]byte, error) {
 	return data, err
 }
 
-// getLocked is Get's body; callers hold v.mu (read or write). It is a
-// degraded k-of-n read: the stripe fetch fans out the decoder's minimum
-// plus speculative probes, retries transient faults with bounded
-// backoff, discards shards whose digest no longer matches (bit rot,
-// tampering) and pulls from further nodes instead, stopping as soon as
-// the minimum is in hand.
+func (v *Vault) get(ctx context.Context, id string) ([]byte, error) {
+	obj := v.lookup(id)
+	if obj == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	v.lockWait(trace.FromContext(ctx), obj.mu.RLock)
+	defer obj.mu.RUnlock()
+	if !obj.live.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return v.readObject(ctx, id, obj)
+}
+
+// readObject is the degraded k-of-n read body; callers hold obj.mu (read
+// or write) and have checked liveness. The stripe fetch fans out the
+// decoder's minimum plus speculative probes, retries transient faults
+// with bounded backoff, discards shards whose digest no longer matches
+// (bit rot, tampering) and pulls from further nodes instead, stopping as
+// soon as the minimum is in hand.
 //
 // A read that had to discard rotted shards still succeeds, but queues
 // the object for ScrubAll (see DirtyObjects) — routing around bit rot
 // must trigger a repair, not hide the damage. A read that cannot reach
 // the encoding's minimum returns *DegradedError (errors.Is ErrDegraded)
 // carrying got/want and the per-node causes, never a raw decode error.
-func (v *Vault) getLocked(ctx context.Context, id string) ([]byte, error) {
+func (v *Vault) readObject(ctx context.Context, id string, obj *vaultObject) ([]byte, error) {
 	sp := trace.FromContext(ctx)
-	obj, ok := v.objects[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
-	}
 	n, min := v.Encoding.Shards()
 	res := v.Cluster.FetchStripeCtx(ctx, id, n, min, v.retry, func(i int, data []byte) bool {
 		return i < len(obj.digests) && sha256.Sum256(data) == obj.digests[i]
@@ -330,21 +431,35 @@ func (v *Vault) getLocked(ctx context.Context, id string) ([]byte, error) {
 }
 
 // markDirty queues an object for the next ScrubAll after a read had to
-// discard rotted shards.
+// discard rotted shards. Safe while holding the object's lock: stripe
+// mutexes are leaf locks (see the lock-order note on Vault.stripes).
 func (v *Vault) markDirty(id string) {
-	v.dirtyMu.Lock()
-	v.dirty[id] = struct{}{}
-	v.dirtyMu.Unlock()
+	st := v.stripe(id)
+	st.mu.Lock()
+	st.dirty[id] = struct{}{}
+	st.mu.Unlock()
+}
+
+// clearDirty removes an object from the scrub queue once its stripe is
+// known healthy again.
+func (v *Vault) clearDirty(id string) {
+	st := v.stripe(id)
+	st.mu.Lock()
+	delete(st.dirty, id)
+	st.mu.Unlock()
 }
 
 // DirtyObjects lists objects queued for scrubbing because a read
 // discarded at least one of their shards since the last scrub.
 func (v *Vault) DirtyObjects() []string {
-	v.dirtyMu.Lock()
-	defer v.dirtyMu.Unlock()
-	out := make([]string, 0, len(v.dirty))
-	for id := range v.dirty {
-		out = append(out, id)
+	var out []string
+	for i := range v.stripes {
+		st := &v.stripes[i]
+		st.mu.RLock()
+		for id := range st.dirty {
+			out = append(out, id)
+		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -353,10 +468,13 @@ func (v *Vault) DirtyObjects() []string {
 // RenewIntegrity appends a fresh signature (rotating schemes) to the
 // object's timestamp chain.
 func (v *Vault) RenewIntegrity(id string, scheme sig.Scheme) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	obj, ok := v.objects[id]
-	if !ok {
+	obj := v.lookup(id)
+	if obj == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	if !obj.live.Load() {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	return obj.chain.Renew(scheme, v.Cluster.Epoch(), v.rnd)
@@ -365,11 +483,12 @@ func (v *Vault) RenewIntegrity(id string, scheme sig.Scheme) error {
 // RenewShares re-encodes the object with fresh randomness and rewrites
 // every shard — the generic renewal that works for any encoding (at full
 // re-encode cost; sharing-specific systems do better, see pss). The whole
-// read-reencode-rewrite sequence holds the write lock: a concurrent Get
-// must never observe a half-rewritten shard set. The rewrite itself is
-// stage-then-commit: a node failing mid-renewal aborts the stage and the
-// cluster keeps the old encoding intact, so the object never ends up
-// with mixed-epoch shards under a stale ClientSecret.
+// read-reencode-rewrite sequence holds the object's write lock: a
+// concurrent Get of the same object must never observe a half-rewritten
+// shard set, while operations on other objects proceed untouched. The
+// rewrite itself is stage-then-commit: a node failing mid-renewal aborts
+// the stage and the cluster keeps the old encoding intact, so the object
+// never ends up with mixed-epoch shards under a stale ClientSecret.
 func (v *Vault) RenewShares(id string) error {
 	return v.RenewSharesContext(context.Background(), id)
 }
@@ -386,20 +505,26 @@ func (v *Vault) RenewSharesContext(ctx context.Context, id string) error {
 }
 
 func (v *Vault) renewShares(ctx context.Context, id string) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	data, err := v.getLocked(ctx, id)
+	obj := v.lookup(id)
+	if obj == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	v.lockWait(trace.FromContext(ctx), obj.mu.Lock)
+	defer obj.mu.Unlock()
+	if !obj.live.Load() {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	data, err := v.readObject(ctx, id, obj)
 	if err != nil {
 		return err
 	}
-	obj := v.objects[id]
 	_, esp := trace.Child(ctx, "vault.encode", trace.Int("bytes", len(data)))
 	enc, err := v.Encoding.Encode(data, v.rnd)
 	esp.End(err)
 	if err != nil {
 		return err
 	}
-	if err := v.disperseLocked(ctx, id, enc); err != nil {
+	if err := v.disperse(ctx, id, enc); err != nil {
 		return fmt.Errorf("core: renewal of %s rolled back: %w", id, err)
 	}
 	obj.enc.ClientSecret = enc.ClientSecret
@@ -409,15 +534,62 @@ func (v *Vault) renewShares(ctx context.Context, id string) error {
 	return nil
 }
 
+// Delete removes an object: liveness drops first (so concurrent Gets
+// and Scrubs see ErrNotFound), then every node drops its shard, and the
+// registry entry goes last — while shards are still being removed the
+// id stays reserved, so a racing re-Put of the same id cannot commit a
+// fresh stripe that this delete would then eat. Shard removal is a
+// metadata operation that always succeeds, mirroring how CommitStage
+// treats already-moved bytes.
+func (v *Vault) Delete(id string) error {
+	return v.DeleteContext(context.Background(), id)
+}
+
+// DeleteContext is Delete rooted in (or joined to) a trace as one
+// "vault.delete" span.
+func (v *Vault) DeleteContext(ctx context.Context, id string) error {
+	ctx, sp := v.tracer.Start(ctx, "vault.delete",
+		trace.Str("object", id), trace.Str("encoding", v.Encoding.Name()))
+	err := v.deleteObject(ctx, id)
+	sp.End(err)
+	return err
+}
+
+func (v *Vault) deleteObject(ctx context.Context, id string) error {
+	obj := v.lookup(id)
+	if obj == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	v.lockWait(trace.FromContext(ctx), obj.mu.Lock)
+	defer obj.mu.Unlock()
+	if !obj.live.Load() {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	obj.live.Store(false)
+	n, _ := v.Encoding.Shards()
+	for i := 0; i < n; i++ {
+		v.Cluster.Delete(i, cluster.ShardKey{Object: id, Index: i})
+	}
+	st := v.stripe(id)
+	st.mu.Lock()
+	delete(st.objects, id)
+	delete(st.dirty, id)
+	st.mu.Unlock()
+	return nil
+}
+
 // ExportEvidence serialises an object's timestamp chain for off-archive
 // escrow: integrity evidence is itself archival data and must survive
 // this process. In commitment mode the export contains no digest of the
 // data — it is safe to publish.
 func (v *Vault) ExportEvidence(id string) ([]byte, error) {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	obj, ok := v.objects[id]
-	if !ok {
+	obj := v.lookup(id)
+	if obj == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
+	if !obj.live.Load() {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	return obj.chain.Marshal()
@@ -425,32 +597,45 @@ func (v *Vault) ExportEvidence(id string) ([]byte, error) {
 
 // Chain exposes an object's timestamp chain.
 func (v *Vault) Chain(id string) *tstamp.Chain {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	if obj, ok := v.objects[id]; ok {
-		return obj.chain
+	obj := v.lookup(id)
+	if obj == nil {
+		return nil
 	}
-	return nil
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
+	if !obj.live.Load() {
+		return nil
+	}
+	return obj.chain
 }
 
 // StorageCost measures the object's at-rest overhead from the cluster.
 func (v *Vault) StorageCost(id string) float64 {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	obj, ok := v.objects[id]
-	if !ok || obj.enc.PlainLen == 0 {
+	obj := v.lookup(id)
+	if obj == nil {
+		return 0
+	}
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
+	if !obj.live.Load() || obj.enc.PlainLen == 0 {
 		return 0
 	}
 	return float64(v.Cluster.ObjectBytes(id)) / float64(obj.enc.PlainLen)
 }
 
-// Objects lists stored object ids (unordered).
+// Objects lists stored object ids (unordered). Entries still dispersing
+// their initial Put (or mid-Delete) are skipped.
 func (v *Vault) Objects() []string {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	out := make([]string, 0, len(v.objects))
-	for id := range v.objects {
-		out = append(out, id)
+	var out []string
+	for i := range v.stripes {
+		st := &v.stripes[i]
+		st.mu.RLock()
+		for id, obj := range st.objects {
+			if obj.live.Load() {
+				out = append(out, id)
+			}
+		}
+		st.mu.RUnlock()
 	}
 	return out
 }

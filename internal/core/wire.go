@@ -70,6 +70,11 @@ func decodeLRSSShare(buf []byte) (lrss.Share, error) {
 	}
 	count := int(binary.BigEndian.Uint32(buf))
 	buf = buf[4:]
+	// Each seed share occupies at least 6 bytes (x, t, u32 len); a count
+	// the remaining buffer cannot hold is malformed, not a huge alloc.
+	if count < 0 || count > len(buf)/6 {
+		return s, errTruncated
+	}
 	s.SeedShares = make([]shamir.Share, count)
 	for i := 0; i < count; i++ {
 		if len(buf) < 2 {

@@ -1,0 +1,277 @@
+package workload
+
+// Closed-loop saturation driver: W worker goroutines issue a configurable
+// put/get/scrub mix against a live core.Vault, each worker firing its
+// next operation as soon as the previous one returns. Throughput comes
+// from wall-clock op counts; latency percentiles come from the obs
+// registry's vault.put.ok / vault.get.ok histograms — the same
+// instruments the monitor serves, so the harness measures exactly the
+// instrumented path.
+//
+// The driver is what papereval -saturate and archivectl bench run: it is
+// the closed-loop complement to the open-loop trace generator above, and
+// the measurement for the vault's striped-locking design — distinct
+// objects must scale with W, and the optional FaultPlan yields
+// degraded-mode throughput curves.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securearchive/internal/core"
+	"securearchive/internal/obs"
+)
+
+// OpMix weights the operations a saturation worker draws from. Weights
+// are relative; zero disables an operation.
+type OpMix struct {
+	Put   float64 `json:"put"`
+	Get   float64 `json:"get"`
+	Scrub float64 `json:"scrub"`
+}
+
+// DefaultMix models archival traffic: write-dominated ingest with read
+// verification and a trickle of scrubbing.
+func DefaultMix() OpMix { return OpMix{Put: 0.45, Get: 0.45, Scrub: 0.10} }
+
+// SaturationConfig parameterises one closed-loop run.
+type SaturationConfig struct {
+	// Workers is W, the closed-loop concurrency.
+	Workers int
+	// TotalOps is the number of operations issued across all workers
+	// (split evenly). Keeping it fixed as W varies keeps run cost flat
+	// while the loop measures how much wall-clock W workers shave off.
+	TotalOps int
+	// ObjectBytes sizes every object.
+	ObjectBytes int
+	// Preload objects ("pre-NNNN") are stored before the measured window
+	// so Gets and Scrubs always have targets.
+	Preload int
+	// Mix weights put/get/scrub; DefaultMix when all-zero.
+	Mix OpMix
+	// Seed determinises each worker's op sequence (worker w draws from
+	// Seed+w).
+	Seed int64
+	// SharedIDs, when true, aims every worker's Gets and Scrubs at the
+	// same preloaded ids AND makes Puts collide on per-worker ids — the
+	// contention-heavy variant. Default (false) exercises the
+	// distinct-object fast path: each Put creates a fresh id.
+	SharedIDs bool
+}
+
+func (cfg SaturationConfig) normalize() (SaturationConfig, error) {
+	if cfg.Workers < 1 {
+		return cfg, fmt.Errorf("%w: workers=%d", ErrBadParams, cfg.Workers)
+	}
+	if cfg.TotalOps < cfg.Workers {
+		cfg.TotalOps = cfg.Workers
+	}
+	if cfg.ObjectBytes <= 0 {
+		cfg.ObjectBytes = 32 << 10
+	}
+	if cfg.Preload <= 0 {
+		cfg.Preload = 8
+	}
+	if cfg.Mix.Put <= 0 && cfg.Mix.Get <= 0 && cfg.Mix.Scrub <= 0 {
+		cfg.Mix = DefaultMix()
+	}
+	return cfg, nil
+}
+
+// LatencySummary is the obs-derived latency digest for one op family.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50Ns float64 `json:"p50_ns"`
+	P95Ns float64 `json:"p95_ns"`
+	P99Ns float64 `json:"p99_ns"`
+}
+
+func summarize(h obs.HistogramSnapshot) LatencySummary {
+	return LatencySummary{Count: h.Count, P50Ns: h.P50, P95Ns: h.P95, P99Ns: h.P99}
+}
+
+// SaturationResult reports one closed-loop run.
+type SaturationResult struct {
+	Workers     int     `json:"workers"`
+	Ops         int64   `json:"ops"`
+	Puts        int64   `json:"puts"`
+	Gets        int64   `json:"gets"`
+	Scrubs      int64   `json:"scrubs"`
+	Errors      int64   `json:"errors"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	PutMBPerSec float64 `json:"put_mb_per_sec"`
+	GetMBPerSec float64 `json:"get_mb_per_sec"`
+	// Obs-derived per-op latency percentiles (vault.put.ok /
+	// vault.get.ok span-bridge histograms over the measured window).
+	PutLatency LatencySummary `json:"put_latency"`
+	GetLatency LatencySummary `json:"get_latency"`
+	// LockWaitP99Ns is the p99 of vault.lock.wait_ns over the window —
+	// the striped design's contention residue.
+	LockWaitP99Ns float64 `json:"lock_wait_p99_ns"`
+}
+
+// Saturate drives the vault with cfg.Workers closed-loop workers and
+// returns the measured result. reg must be the registry the vault (and
+// ideally its cluster) reports into; it is Reset at the start of the
+// measured window, so pass an isolated registry, not obs.Default(), when
+// anything else shares the process. The caller installs any FaultPlan on
+// the cluster beforehand; errors from individual ops (e.g. degraded
+// reads below threshold under faults) are counted, not fatal — a
+// saturation run measures the vault under duress, it doesn't assert
+// health. Put payloads are deterministic from the id, and every Get's
+// payload is verified against it: a mismatch is reported as an error.
+func Saturate(v *core.Vault, reg *obs.Registry, cfg SaturationConfig) (*SaturationResult, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	preIDs := make([]string, cfg.Preload)
+	for i := range preIDs {
+		preIDs[i] = fmt.Sprintf("pre-%04d", i)
+		if err := v.Put(preIDs[i], payloadFor(preIDs[i], cfg.ObjectBytes)); err != nil {
+			return nil, fmt.Errorf("workload: preload %s: %w", preIDs[i], err)
+		}
+	}
+
+	var (
+		puts, gets, scrubs, errCount atomic.Int64
+		wg                           sync.WaitGroup
+	)
+	perWorker := cfg.TotalOps / cfg.Workers
+	total := float64(cfg.Mix.Put + cfg.Mix.Get + cfg.Mix.Scrub)
+
+	reg.Reset()
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			seq := 0
+			for op := 0; op < perWorker; op++ {
+				u := rng.Float64() * total
+				switch {
+				case u < cfg.Mix.Put:
+					id := fmt.Sprintf("w%03d-%06d", w, seq)
+					if cfg.SharedIDs {
+						// Collide on a small id set: half the puts hit ids
+						// other workers also create, exercising ErrExists
+						// and same-object lock contention.
+						id = fmt.Sprintf("hot-%03d", seq%8)
+					}
+					seq++
+					err := v.Put(id, payloadFor(id, cfg.ObjectBytes))
+					puts.Add(1)
+					if err != nil && !cfg.SharedIDs {
+						errCount.Add(1)
+					}
+				case u < cfg.Mix.Put+cfg.Mix.Get:
+					id := preIDs[rng.Intn(len(preIDs))]
+					data, err := v.Get(id)
+					gets.Add(1)
+					if err != nil {
+						errCount.Add(1)
+					} else if !bytesEqual(data, payloadFor(id, cfg.ObjectBytes)) {
+						errCount.Add(1)
+					}
+				default:
+					id := preIDs[rng.Intn(len(preIDs))]
+					if _, err := v.Scrub(id); err != nil {
+						errCount.Add(1)
+					}
+					scrubs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := reg.Snapshot()
+	res := &SaturationResult{
+		Workers:       cfg.Workers,
+		Puts:          puts.Load(),
+		Gets:          gets.Load(),
+		Scrubs:        scrubs.Load(),
+		Errors:        errCount.Load(),
+		ElapsedNs:     elapsed.Nanoseconds(),
+		PutLatency:    summarize(snap.Histograms["vault.put.ok"]),
+		GetLatency:    summarize(snap.Histograms["vault.get.ok"]),
+		LockWaitP99Ns: snap.Histograms["vault.lock.wait_ns"].P99,
+	}
+	res.Ops = res.Puts + res.Gets + res.Scrubs
+	if s := elapsed.Seconds(); s > 0 {
+		res.OpsPerSec = float64(res.Ops) / s
+		res.PutMBPerSec = snap.Histograms["vault.put.bytes"].Sum / s / 1e6
+		res.GetMBPerSec = snap.Histograms["vault.get.bytes"].Sum / s / 1e6
+	}
+	return res, nil
+}
+
+// payloadFor materialises the deterministic payload every Put stores and
+// every Get verifies against: reproducible across workers and runs, so a
+// torn or cross-wired read is caught as corruption, not noise.
+func payloadFor(id string, n int) []byte {
+	r := rand.New(rand.NewSource(int64(hashString(id))))
+	buf := make([]byte, n)
+	r.Read(buf)
+	return buf
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SweepWorkers runs Saturate at each worker count over a fresh vault
+// built by mk (a fresh cluster+vault+registry per cell keeps cells
+// independent: no cross-W cache warmth or leftover objects). mk also
+// installs any fault plan.
+func SweepWorkers(workerCounts []int, cfg SaturationConfig, mk func() (*core.Vault, *obs.Registry, error)) ([]*SaturationResult, error) {
+	var out []*SaturationResult
+	for _, w := range workerCounts {
+		v, reg, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Workers = w
+		res, err := Saturate(v, reg, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ScalingX returns the throughput ratio between the result at wHigh and
+// the result at wLow workers, or 0 when either is missing — the number
+// the stripe-scaling gate checks (W=16 ≥ 2× W=1 on multi-core boxes).
+func ScalingX(results []*SaturationResult, wLow, wHigh int) float64 {
+	var lo, hi float64
+	for _, r := range results {
+		switch r.Workers {
+		case wLow:
+			lo = r.OpsPerSec
+		case wHigh:
+			hi = r.OpsPerSec
+		}
+	}
+	if lo <= 0 {
+		return 0
+	}
+	return hi / lo
+}
