@@ -37,6 +37,7 @@ func cmdBench(args []string) {
 	getW := fs.Float64("get", 0.45, "get weight in the op mix")
 	scrubW := fs.Float64("scrub", 0.10, "scrub weight in the op mix")
 	shared := fs.Bool("shared", false, "collide workers on a shared id set (contention-heavy variant)")
+	batch := fs.Bool("batch", false, "route puts through a shared group-commit batcher (small-object path)")
 	offline := fs.Int("offline", 0, "nodes taken offline for the whole run")
 	transient := fs.Float64("transient", 0, "per-op transient fault probability")
 	corrupt := fs.Float64("corrupt", 0, "per-read shard corruption probability")
@@ -63,6 +64,7 @@ func cmdBench(args []string) {
 		Mix:         workload.OpMix{Put: *putW, Get: *getW, Scrub: *scrubW},
 		Seed:        *seed,
 		SharedIDs:   *shared,
+		Batched:     *batch,
 	}
 	mk := func() (*core.Vault, *obs.Registry, error) {
 		reg := obs.NewRegistry()

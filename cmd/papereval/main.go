@@ -22,7 +22,10 @@
 // W = 1, 4, 16, 64 concurrent workers issuing a put/get/scrub mix,
 // reporting throughput and obs-derived latency percentiles to
 // -saturate-out. With -saturate-faults each encoding is additionally
-// measured with a fault plan active (degraded-mode curves).
+// measured with a fault plan active (degraded-mode curves). With
+// -saturate-small the report also gains a small_object section: the
+// 4 KiB batched-vs-unbatched sweep that measures the group-commit
+// write batcher's amortisation win.
 package main
 
 import (
@@ -57,11 +60,12 @@ func main() {
 	satFaults := flag.Bool("saturate-faults", false, "also run each -saturate encoding with a fault plan active (degraded-mode curves)")
 	satOps := flag.Int("saturate-ops", 192, "total operations per -saturate cell")
 	satObjKiB := flag.Int("saturate-obj", 16, "object size in KiB for -saturate")
+	satSmall := flag.Bool("saturate-small", false, "run the 4 KiB batched-vs-unbatched small-object sweep (small_object section of -saturate-out)")
 	all := flag.Bool("all", false, "run everything")
 	objKiB := flag.Int("obj", 256, "object size in KiB for measurements")
 	flag.Parse()
 
-	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench && !*saturate {
+	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench && !*saturate && !*satSmall {
 		*all = true
 	}
 	ran := false
@@ -93,8 +97,8 @@ func main() {
 		runObs(*obsOut, *objKiB)
 		ran = true
 	}
-	if *saturate {
-		runSaturate(*satOut, *satEnc, *satFaults, *satOps, *satObjKiB)
+	if *saturate || *satSmall {
+		runSaturate(*satOut, *satEnc, *satFaults, *satOps, *satObjKiB, *saturate, *satSmall)
 		ran = true
 	}
 	if !ran {

@@ -34,6 +34,25 @@ type saturateReport struct {
 	Mix         workload.OpMix `json:"mix"`
 	Seed        int64          `json:"seed"`
 	Encodings   []saturateRuns `json:"encodings"`
+	// SmallObject is the batched-vs-unbatched 4 KiB sweep written by
+	// -saturate-small.
+	SmallObject *smallObjectSection `json:"small_object,omitempty"`
+}
+
+// smallObjectSection is the -saturate-small result: the same closed-loop
+// driver over 4 KiB objects with a put-heavy mix, once with every put
+// going through Vault.Put and once through a shared core.Batcher. The
+// acceptance gate reads BatchedX16: batched ops/s over unbatched ops/s
+// at W=16 (≥ 2 expected — group commit amortises the per-put signature,
+// commitment chain, and staged dispersal across the whole batch).
+type smallObjectSection struct {
+	Encoding    string                       `json:"encoding"`
+	ObjectBytes int                          `json:"object_bytes"`
+	TotalOps    int                          `json:"total_ops"`
+	Mix         workload.OpMix               `json:"mix"`
+	Unbatched   []*workload.SaturationResult `json:"unbatched"`
+	Batched     []*workload.SaturationResult `json:"batched"`
+	BatchedX16  float64                      `json:"batched_x_at_w16"`
 }
 
 // saturateRuns is one encoding's worker sweep.
@@ -67,8 +86,10 @@ func saturateFaultPlan() *cluster.FaultPlan {
 // runSaturate sweeps every Figure 1 encoding through the closed-loop
 // driver at saturateWorkers concurrency levels, writing the curves to
 // outPath. encFilter, when non-empty, is a comma-separated substring
-// filter over encoding names (case-insensitive).
-func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB int) {
+// filter over encoding names (case-insensitive). withMain runs the main
+// per-encoding sweep; withSmall appends the batched-vs-unbatched 4 KiB
+// small-object sweep.
+func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB int, withMain, withSmall bool) {
 	fmt.Println("=== closed-loop saturation sweep (striped-vault scaling) ===")
 	objBytes := objKiB << 10
 	cfg := workload.SaturationConfig{
@@ -88,75 +109,81 @@ func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB in
 		Seed:        cfg.Seed,
 	}
 
-	fcfg := core.Figure1Config{N: 8, K: 4, T: 4, PackCount: 3, ObjectLen: objBytes}
-	var filters []string
-	for _, f := range strings.Split(encFilter, ",") {
-		if f = strings.TrimSpace(strings.ToLower(f)); f != "" {
-			filters = append(filters, f)
+	if withMain {
+		fcfg := core.Figure1Config{N: 8, K: 4, T: 4, PackCount: 3, ObjectLen: objBytes}
+		var filters []string
+		for _, f := range strings.Split(encFilter, ",") {
+			if f = strings.TrimSpace(strings.ToLower(f)); f != "" {
+				filters = append(filters, f)
+			}
 		}
-	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "encoding\tfaults\tW\tops/s\tput p99 (µs)\tget p99 (µs)\terrs\n")
-	for _, enc := range core.Figure1Encodings(fcfg) {
-		if len(filters) > 0 {
-			name := strings.ToLower(enc.Name())
-			keep := false
-			for _, f := range filters {
-				if strings.Contains(name, f) {
-					keep = true
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "encoding\tfaults\tW\tops/s\tput p99 (µs)\tget p99 (µs)\terrs\n")
+		for _, enc := range core.Figure1Encodings(fcfg) {
+			if len(filters) > 0 {
+				name := strings.ToLower(enc.Name())
+				keep := false
+				for _, f := range filters {
+					if strings.Contains(name, f) {
+						keep = true
+					}
+				}
+				if !keep {
+					continue
 				}
 			}
-			if !keep {
-				continue
+			modes := []bool{false}
+			if withFaults {
+				modes = append(modes, true)
 			}
-		}
-		modes := []bool{false}
-		if withFaults {
-			modes = append(modes, true)
-		}
-		for _, faulted := range modes {
-			enc, faulted := enc, faulted
-			mk := func() (*core.Vault, *obs.Registry, error) {
-				reg := obs.NewRegistry()
-				c := cluster.New(8, nil)
-				c.UseRegistry(reg)
-				if faulted {
-					c.SetFaultPlan(saturateFaultPlan())
+			for _, faulted := range modes {
+				enc, faulted := enc, faulted
+				mk := func() (*core.Vault, *obs.Registry, error) {
+					reg := obs.NewRegistry()
+					c := cluster.New(8, nil)
+					c.UseRegistry(reg)
+					if faulted {
+						c.SetFaultPlan(saturateFaultPlan())
+					}
+					v, err := core.NewVault(c, enc,
+						core.WithGroup(group.Test()), core.WithRegistry(reg))
+					return v, reg, err
 				}
-				v, err := core.NewVault(c, enc,
-					core.WithGroup(group.Test()), core.WithRegistry(reg))
-				return v, reg, err
-			}
-			runs, err := workload.SweepWorkers(saturateWorkers, cfg, mk)
-			if err != nil {
-				fatal(err)
-			}
-			sr := saturateRuns{
-				Encoding:     enc.Name(),
-				Faulted:      faulted,
-				Runs:         runs,
-				ScalingX16v1: workload.ScalingX(runs, 1, 16),
-			}
-			rep.Encodings = append(rep.Encodings, sr)
-			for _, r := range runs {
-				fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%.0f\t%.0f\t%d\n",
-					enc.Name(), faulted, r.Workers, r.OpsPerSec,
-					r.PutLatency.P99Ns/1e3, r.GetLatency.P99Ns/1e3, r.Errors)
+				runs, err := workload.SweepWorkers(saturateWorkers, cfg, mk)
+				if err != nil {
+					fatal(err)
+				}
+				sr := saturateRuns{
+					Encoding:     enc.Name(),
+					Faulted:      faulted,
+					Runs:         runs,
+					ScalingX16v1: workload.ScalingX(runs, 1, 16),
+				}
+				rep.Encodings = append(rep.Encodings, sr)
+				for _, r := range runs {
+					fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%.0f\t%.0f\t%d\n",
+						enc.Name(), faulted, r.Workers, r.OpsPerSec,
+						r.PutLatency.P99Ns/1e3, r.GetLatency.P99Ns/1e3, r.Errors)
+				}
 			}
 		}
-	}
-	w.Flush()
+		w.Flush()
 
-	fmt.Println("\nscaling (ops/s at W=16 over W=1):")
-	for _, sr := range rep.Encodings {
-		tag := ""
-		if sr.Faulted {
-			tag = " [faults]"
+		fmt.Println("\nscaling (ops/s at W=16 over W=1):")
+		for _, sr := range rep.Encodings {
+			tag := ""
+			if sr.Faulted {
+				tag = " [faults]"
+			}
+			fmt.Printf("  %-34s%s %.2fx\n", sr.Encoding, tag, sr.ScalingX16v1)
 		}
-		fmt.Printf("  %-34s%s %.2fx\n", sr.Encoding, tag, sr.ScalingX16v1)
+		if rep.GoMaxProc < 4 {
+			fmt.Printf("note: GOMAXPROCS=%d — the ≥2x stripe-scaling gate applies only on ≥4-core boxes\n", rep.GoMaxProc)
+		}
 	}
-	if rep.GoMaxProc < 4 {
-		fmt.Printf("note: GOMAXPROCS=%d — the ≥2x stripe-scaling gate applies only on ≥4-core boxes\n", rep.GoMaxProc)
+
+	if withSmall {
+		rep.SmallObject = runSmallObjectSweep(totalOps)
 	}
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -167,4 +194,73 @@ func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB in
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n\n", outPath)
+}
+
+// runSmallObjectSweep measures the batched-write win on 4 KiB objects:
+// the same closed-loop sweep twice over RS 4-of-8, first with every put
+// a full Vault.Put (signature + commitment chain + 8 staged shards per
+// object), then with all puts funnelled through one shared core.Batcher
+// (group commit: one chain and one stripe per batch).
+func runSmallObjectSweep(totalOps int) *smallObjectSection {
+	fmt.Println("=== small-object sweep (4 KiB, batched vs unbatched) ===")
+	enc := core.Erasure{K: 4, N: 8}
+	sec := &smallObjectSection{
+		Encoding:    enc.Name(),
+		ObjectBytes: workload.SmallObjectBytes,
+		TotalOps:    totalOps,
+		Mix:         workload.SmallObjectMix(),
+	}
+	mk := func() (*core.Vault, *obs.Registry, error) {
+		reg := obs.NewRegistry()
+		c := cluster.New(8, nil)
+		c.UseRegistry(reg)
+		v, err := core.NewVault(c, enc,
+			core.WithGroup(group.Test()), core.WithRegistry(reg))
+		return v, reg, err
+	}
+	cfg := workload.SaturationConfig{
+		TotalOps:    totalOps,
+		ObjectBytes: workload.SmallObjectBytes,
+		Preload:     6,
+		Mix:         sec.Mix,
+		Seed:        1,
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "mode\tW\tops/s\tput p99 (µs)\terrs\n")
+	for _, batched := range []bool{false, true} {
+		c := cfg
+		c.Batched = batched
+		runs, err := workload.SweepWorkers(saturateWorkers, c, mk)
+		if err != nil {
+			fatal(err)
+		}
+		mode := "unbatched"
+		if batched {
+			mode = "batched"
+			sec.Batched = runs
+		} else {
+			sec.Unbatched = runs
+		}
+		for _, r := range runs {
+			fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%d\n",
+				mode, r.Workers, r.OpsPerSec, r.PutLatency.P99Ns/1e3, r.Errors)
+		}
+	}
+	w.Flush()
+	var un, ba float64
+	for _, r := range sec.Unbatched {
+		if r.Workers == 16 {
+			un = r.OpsPerSec
+		}
+	}
+	for _, r := range sec.Batched {
+		if r.Workers == 16 {
+			ba = r.OpsPerSec
+		}
+	}
+	if un > 0 {
+		sec.BatchedX16 = ba / un
+	}
+	fmt.Printf("batched/unbatched at W=16: %.2fx (gate: ≥2x)\n", sec.BatchedX16)
+	return sec
 }

@@ -38,10 +38,15 @@ var (
 	ErrTransient = errors.New("cluster: transient I/O error")
 )
 
-// ShardKey addresses one shard of one object version.
+// ShardKey addresses one shard of one object version. Objects written
+// monolithically occupy chunk 0; the vault's pipelined writer splits
+// large objects into fixed-size chunks, each encoded as its own stripe,
+// so a shard is addressed by (object, chunk, index). The zero Chunk
+// keeps every pre-chunking key (and persisted test fixture) valid.
 type ShardKey struct {
 	Object string // object identifier
-	Index  int    // shard index within the object's encoding
+	Index  int    // shard index within the chunk's encoding
+	Chunk  int    // chunk ordinal within the object; 0 for unchunked
 }
 
 // Shard is the unit of storage: opaque bytes plus placement metadata.
@@ -263,6 +268,9 @@ func (c *Cluster) Snapshot(nodeID int) ([]Shard, error) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Key.Object != out[j].Key.Object {
 			return out[i].Key.Object < out[j].Key.Object
+		}
+		if out[i].Key.Chunk != out[j].Key.Chunk {
+			return out[i].Key.Chunk < out[j].Key.Chunk
 		}
 		return out[i].Key.Index < out[j].Key.Index
 	})

@@ -209,6 +209,13 @@ func (c *Cluster) FetchStripe(object string, n, want int, pol RetryPolicy, valid
 // paid. Probe spans are created on the fan-out goroutines; the tracer is
 // built for exactly this (sibling spans on concurrent goroutines).
 func (c *Cluster) FetchStripeCtx(ctx context.Context, object string, n, want int, pol RetryPolicy, valid func(index int, data []byte) bool) *StripeResult {
+	return c.FetchChunkStripeCtx(ctx, object, 0, n, want, pol, valid)
+}
+
+// FetchChunkStripeCtx is FetchStripeCtx addressing one chunk of a
+// pipeline-written object: shard i of the chunk's stripe is fetched from
+// node i. Chunk 0 is the whole-object stripe for unchunked writes.
+func (c *Cluster) FetchChunkStripeCtx(ctx context.Context, object string, chunk, n, want int, pol RetryPolicy, valid func(index int, data []byte) bool) *StripeResult {
 	res := &StripeResult{}
 	if n <= 0 {
 		return res
@@ -217,7 +224,7 @@ func (c *Cluster) FetchStripeCtx(ctx context.Context, object string, n, want int
 		want = n
 	}
 	fctx, fsp := trace.Child(ctx, "cluster.fetch",
-		trace.Str("object", object), trace.Int("n", n), trace.Int("want", want))
+		trace.Str("object", object), trace.Int("chunk", chunk), trace.Int("n", n), trace.Int("want", want))
 	start := time.Now()
 	m := c.metrics
 	probes := want + 2
@@ -246,7 +253,7 @@ func (c *Cluster) FetchStripeCtx(ctx context.Context, object string, n, want int
 				m.probes.Inc()
 				pctx, psp := trace.Child(fctx, "cluster.probe",
 					trace.Int("node", i), trace.Int("shard", i))
-				sh, err := c.GetRetryCtx(pctx, i, ShardKey{Object: object, Index: i}, pol)
+				sh, err := c.GetRetryCtx(pctx, i, ShardKey{Object: object, Index: i, Chunk: chunk}, pol)
 				if err == nil && valid != nil && !valid(i, sh.Data) {
 					err = fmt.Errorf("%w: node %d %s[%d]", ErrShardInvalid, i, object, i)
 					m.discardedAt(i)

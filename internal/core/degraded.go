@@ -59,6 +59,21 @@ type vaultMetrics struct {
 	readDegraded     *obs.Counter
 	readInsufficient *obs.Counter
 	scrubRepairs     *obs.Counter
+
+	// Pipelined chunked writes (pipeline.go): objects written through the
+	// chunked path, chunks pushed through encode→stage, and the combined
+	// encode+stage rate the pipeline achieved.
+	pipelinePuts   *obs.Counter
+	pipelineChunks *obs.Counter
+	pipelineMBs    *obs.Histogram
+
+	// Batched small-object writes (batch.go): member puts admitted,
+	// flushes performed, members per flush, and how long a member waited
+	// from enqueue to commit.
+	batchPuts    *obs.Counter
+	batchFlushes *obs.Counter
+	batchMembers *obs.Histogram
+	batchWaitNs  *obs.Histogram
 }
 
 func newVaultMetrics(reg *obs.Registry, encName string) *vaultMetrics {
@@ -74,6 +89,13 @@ func newVaultMetrics(reg *obs.Registry, encName string) *vaultMetrics {
 		readDegraded:     reg.Counter("vault.read.degraded"),
 		readInsufficient: reg.Counter("vault.read.insufficient"),
 		scrubRepairs:     reg.Counter("vault.scrub.repairs"),
+		pipelinePuts:     reg.Counter("vault.pipeline.puts"),
+		pipelineChunks:   reg.Counter("vault.pipeline.chunks"),
+		pipelineMBs:      reg.Histogram("vault.pipeline.mbps", obs.RateBuckets()),
+		batchPuts:        reg.Counter("vault.batch.puts"),
+		batchFlushes:     reg.Counter("vault.batch.flushes"),
+		batchMembers:     reg.Histogram("vault.batch.members", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		batchWaitNs:      reg.Histogram("vault.batch.wait_ns", obs.LatencyBuckets()),
 	}
 }
 

@@ -169,7 +169,7 @@ func (e Erasure) Encode(data []byte, _ io.Reader) (*Encoded, error) {
 	if len(data) == 0 {
 		return nil, ErrEmptyData
 	}
-	code, err := rs.New(e.K, e.N-e.K, rs.WithParallelism(e.Par))
+	code, err := rs.Cached(e.K, e.N-e.K, e.Par)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -182,7 +182,7 @@ func (e Erasure) Encode(data []byte, _ io.Reader) (*Encoded, error) {
 
 // Decode implements Encoding.
 func (e Erasure) Decode(enc *Encoded) ([]byte, error) {
-	code, err := rs.New(e.K, e.N-e.K, rs.WithParallelism(e.Par))
+	code, err := rs.Cached(e.K, e.N-e.K, e.Par)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +231,7 @@ func (t TraditionalEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, err
 	if err != nil {
 		return nil, err
 	}
-	code, err := rs.New(t.K, t.N-t.K, rs.WithParallelism(t.Par))
+	code, err := rs.Cached(t.K, t.N-t.K, t.Par)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -250,7 +250,7 @@ func (t TraditionalEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, err
 
 // Decode implements Encoding.
 func (t TraditionalEncryption) Decode(enc *Encoded) ([]byte, error) {
-	code, err := rs.New(t.K, t.N-t.K, rs.WithParallelism(t.Par))
+	code, err := rs.Cached(t.K, t.N-t.K, t.Par)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +309,7 @@ func (c CascadeEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error) 
 	if err != nil {
 		return nil, err
 	}
-	code, err := rs.New(c.K, c.N-c.K, rs.WithParallelism(c.Par))
+	code, err := rs.Cached(c.K, c.N-c.K, c.Par)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -332,7 +332,7 @@ func (c CascadeEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error) 
 
 // Decode implements Encoding.
 func (c CascadeEncryption) Decode(enc *Encoded) ([]byte, error) {
-	code, err := rs.New(c.K, c.N-c.K, rs.WithParallelism(c.Par))
+	code, err := rs.Cached(c.K, c.N-c.K, c.Par)
 	if err != nil {
 		return nil, err
 	}
@@ -419,7 +419,7 @@ func (e EntropicEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error)
 	if err != nil {
 		return nil, err
 	}
-	code, err := rs.New(e.K, e.N-e.K, rs.WithParallelism(e.Par))
+	code, err := rs.Cached(e.K, e.N-e.K, e.Par)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
 	}
@@ -437,7 +437,7 @@ func (e EntropicEncryption) Encode(data []byte, rnd io.Reader) (*Encoded, error)
 
 // Decode implements Encoding.
 func (e EntropicEncryption) Decode(enc *Encoded) ([]byte, error) {
-	code, err := rs.New(e.K, e.N-e.K, rs.WithParallelism(e.Par))
+	code, err := rs.Cached(e.K, e.N-e.K, e.Par)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"securearchive/internal/cluster"
+	"securearchive/internal/group"
+)
+
+// chunkedTestVault builds a vault with a deliberately tiny chunk size so
+// unit-sized objects exercise the multi-chunk pipeline cheaply.
+func chunkedTestVault(t *testing.T, enc Encoding, chunkSize int) (*Vault, *cluster.Cluster) {
+	t.Helper()
+	c := cluster.New(8, nil)
+	v, err := NewVault(c, enc, WithGroup(group.Test()), WithChunkSize(chunkSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, c
+}
+
+// TestChunkedMatchesMonolithic is the pipeline's differential property:
+// for every encoding, a vault writing through the chunked pipeline and a
+// vault writing monolithically must both round-trip the exact same bytes
+// at the chunk-boundary sizes (chunk−1, chunk, chunk+1, multi-chunk).
+func TestChunkedMatchesMonolithic(t *testing.T) {
+	const chunk = 2048
+	sizes := []int{chunk - 1, chunk, chunk + 1, 3*chunk + 17}
+	for _, enc := range Figure1Encodings(cfgSmall()) {
+		enc := enc
+		t.Run(enc.Name(), func(t *testing.T) {
+			t.Parallel()
+			chunked, cc := chunkedTestVault(t, enc, chunk)
+			mono, _ := chunkedTestVault(t, enc, 0) // chunking disabled
+			for _, size := range sizes {
+				data := make([]byte, size)
+				rand.Read(data)
+				id := fmt.Sprintf("obj-%d", size)
+				if err := chunked.Put(id, data); err != nil {
+					t.Fatalf("chunked put %d bytes: %v", size, err)
+				}
+				if err := mono.Put(id, data); err != nil {
+					t.Fatalf("monolithic put %d bytes: %v", size, err)
+				}
+				got, err := chunked.Get(id)
+				if err != nil {
+					t.Fatalf("chunked get %d bytes: %v", size, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("chunked round trip mismatch at %d bytes", size)
+				}
+				mgot, err := mono.Get(id)
+				if err != nil {
+					t.Fatalf("monolithic get %d bytes: %v", size, err)
+				}
+				if !bytes.Equal(mgot, data) {
+					t.Fatalf("monolithic round trip mismatch at %d bytes", size)
+				}
+				// Sizes that split into several chunks must actually have
+				// taken the chunked path: chunk 1's stripe exists on the
+				// cluster. (chunk+1 folds its 1-byte tail into chunk 0 and
+				// stays a single stripe by design.)
+				if size > chunk && numChunks(size, chunk) > 1 {
+					if _, err := cc.Get(0, cluster.ShardKey{Object: id, Index: 0, Chunk: 1}); err != nil {
+						t.Fatalf("size %d left no chunk-1 shard: %v", size, err)
+					}
+				}
+			}
+			if StagedCount := cc.StagedCount(); StagedCount != 0 {
+				t.Fatalf("%d shards left in staging", StagedCount)
+			}
+		})
+	}
+}
+
+// TestChunkedPutAbortsAtomically kills a node mid-write: the multi-chunk
+// put must fail as a unit — no committed shards, no staged leftovers, no
+// registry entry — exactly the monolithic path's guarantee.
+func TestChunkedPutAbortsAtomically(t *testing.T) {
+	v, c := chunkedTestVault(t, Erasure{K: 4, N: 8}, 2048)
+	c.SetOnline(7, false)
+	data := make([]byte, 3*2048+5)
+	rand.Read(data)
+	if err := v.Put("doomed", data); err == nil {
+		t.Fatal("put succeeded with a required node down")
+	}
+	if got := c.StoredBytes(); got != 0 {
+		t.Fatalf("aborted put left %d committed bytes", got)
+	}
+	if got := c.StagedCount(); got != 0 {
+		t.Fatalf("aborted put left %d staged shards", got)
+	}
+	if _, err := v.Get("doomed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("aborted put left a registry entry: %v", err)
+	}
+	// The id is reusable once the node returns.
+	c.SetOnline(7, true)
+	if err := v.Put("doomed", data); err != nil {
+		t.Fatalf("re-put after abort: %v", err)
+	}
+	got, err := v.Get("doomed")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip after recovery: %v", err)
+	}
+}
+
+// TestChunkedDegradedRead drops nodes down to the decode minimum: every
+// chunk's k-of-n read must route around the losses.
+func TestChunkedDegradedRead(t *testing.T) {
+	v, c := chunkedTestVault(t, Erasure{K: 4, N: 8}, 2048)
+	data := make([]byte, 5*2048+333)
+	rand.Read(data)
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 6, 7} { // 4 of 8 down, k=4 remain
+		c.SetOnline(n, false)
+	}
+	got, err := v.Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mismatch under failures")
+	}
+	// One more loss starves some chunk below k: typed degraded error.
+	c.SetOnline(0, false)
+	if _, err := v.Get("r"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("starved read: got %v, want ErrDegraded", err)
+	}
+}
+
+// TestChunkedScrubRepairs rots shards in two different chunks, scrubs,
+// and expects a repaired stripe plus an intact round trip.
+func TestChunkedScrubRepairs(t *testing.T) {
+	v, c := chunkedTestVault(t, Erasure{K: 4, N: 8}, 2048)
+	data := make([]byte, 4*2048)
+	rand.Read(data)
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	// Rot chunk 0 on node 2 and chunk 3 on node 5.
+	c.Put(2, cluster.ShardKey{Object: "r", Index: 2, Chunk: 0}, []byte("rotrotrot"))
+	c.Put(5, cluster.ShardKey{Object: "r", Index: 5, Chunk: 3}, []byte("bitflip"))
+	rep, err := v.Scrub("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired {
+		t.Fatal("damage not repaired")
+	}
+	if len(rep.Corrupt) != 2 {
+		t.Fatalf("corrupt nodes %v, want [2 5]", rep.Corrupt)
+	}
+	rep2, err := v.Scrub("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Clean() {
+		t.Fatalf("second scrub still dirty: missing=%v corrupt=%v", rep2.Missing, rep2.Corrupt)
+	}
+	got, err := v.Get("r")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip after repair: %v", err)
+	}
+}
+
+// TestChunkedRenewShares rewrites every chunk's stripe with fresh
+// randomness and must preserve the data.
+func TestChunkedRenewShares(t *testing.T) {
+	v, c := chunkedTestVault(t, SecretSharing{T: 4, N: 8}, 2048)
+	data := make([]byte, 2*2048+100)
+	rand.Read(data)
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.Get(0, cluster.ShardKey{Object: "r", Index: 0, Chunk: 1})
+	if err := v.RenewShares("r"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.Get(0, cluster.ShardKey{Object: "r", Index: 0, Chunk: 1})
+	if bytes.Equal(before.Data, after.Data) {
+		t.Fatal("chunk shard unchanged after renewal")
+	}
+	got, err := v.Get("r")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data lost in renewal: %v", err)
+	}
+}
+
+// TestPipelinedEncodeGate is the acceptance gate for the chunked write
+// pipeline: a 16 MiB put through the encode→stage pipeline must run
+// ≥ 1.5× the monolithic write path's throughput. The win is overlap —
+// chunk i+1 encodes while chunk i stages — so real parallelism is a
+// precondition: the gate is specified for ≥ 4 cores and skips below
+// that (on one core the pipeline degenerates to the monolithic order
+// plus channel overhead, which the differential tests above cover).
+func TestPipelinedEncodeGate(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d: pipelined-encode gate needs >= 4 cores", runtime.GOMAXPROCS(0))
+	}
+	if testing.Short() {
+		t.Skip("16 MiB throughput measurement skipped in -short")
+	}
+	const payload = 16 << 20
+	data := make([]byte, payload)
+	rand.Read(data)
+	throughput := func(chunk int) float64 {
+		v, _ := chunkedTestVault(t, Erasure{K: 4, N: 8}, chunk)
+		// Warm up pools and page in the payload.
+		if err := v.Put("warm", data); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Delete("warm"); err != nil {
+			t.Fatal(err)
+		}
+		const reps = 6
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			id := fmt.Sprintf("g-%d", i)
+			if err := v.Put(id, data); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(payload) * reps / time.Since(start).Seconds()
+	}
+	mono := throughput(0)
+	pipe := throughput(DefaultChunkSize)
+	if x := pipe / mono; x < 1.5 {
+		t.Errorf("pipelined 16 MiB put only %.2fx of monolithic, want >= 1.5x (pipeline regression?)", x)
+	}
+}
+
+// TestChunkedDelete removes every chunk's shards, not just chunk 0.
+func TestChunkedDelete(t *testing.T) {
+	v, c := chunkedTestVault(t, Erasure{K: 4, N: 8}, 2048)
+	data := make([]byte, 3*2048)
+	rand.Read(data)
+	if err := v.Put("r", data); err != nil {
+		t.Fatal(err)
+	}
+	if c.StoredBytes() == 0 {
+		t.Fatal("nothing stored")
+	}
+	if err := v.Delete("r"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StoredBytes(); got != 0 {
+		t.Fatalf("delete left %d bytes on nodes", got)
+	}
+	if _, err := v.Get("r"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted object still readable: %v", err)
+	}
+}

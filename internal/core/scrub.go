@@ -139,6 +139,12 @@ func (v *Vault) ScrubAllContext(ctx context.Context) ([]*ScrubReport, error) {
 // scrubObject is the scrub body; callers hold obj.mu in write mode and
 // have checked liveness.
 func (v *Vault) scrubObject(ctx context.Context, id string, obj *vaultObject) (*ScrubReport, error) {
+	if obj.batch != nil {
+		return v.scrubBatchMember(ctx, id, obj)
+	}
+	if len(obj.chunks) > 0 {
+		return v.scrubChunked(ctx, id, obj)
+	}
 	n, _ := v.Encoding.Shards()
 	res := v.Cluster.FetchStripeCtx(ctx, id, n, n, v.retry, nil)
 	shards := res.Shards

@@ -25,6 +25,13 @@ import (
 // low for realistic worker counts while the array stays cache-resident.
 const stripeCount = 64
 
+// DefaultChunkSize is the pipelined writer's chunk size: objects larger
+// than this are split into fixed-size chunks that flow through
+// encode→stage as a bounded pipeline (see pipeline.go). 1 MiB keeps each
+// chunk's stripe well above the coding kernels' parallel grain while
+// bounding the pipeline's in-flight memory to a few chunks.
+const DefaultChunkSize = 1 << 20
+
 // Vault is the framework's user-facing archive: an Encoding composed with
 // cluster dispersal, per-object integrity chains, and renewal. It is what
 // the examples and the archivectl CLI drive.
@@ -47,6 +54,11 @@ type Vault struct {
 	// retry bounds per-node retries on transient cluster faults.
 	retry cluster.RetryPolicy
 
+	// chunkSize bounds how much of an object a single encode works on;
+	// larger objects take the pipelined chunked write path. <= 0 disables
+	// chunking (every object encodes monolithically).
+	chunkSize int
+
 	// stripes shard the object registry (and the dirty queue) by
 	// fnv(id) % stripeCount. A stripe's mutex guards only its maps —
 	// lookup, insert, remove — never the I/O or CPU work of an operation,
@@ -64,8 +76,10 @@ type Vault struct {
 	// Per-object operations never touch it.
 	sweepMu sync.Mutex
 
-	// stageSeq uniquifies stage tokens across concurrent dispersals.
+	// stageSeq uniquifies stage tokens across concurrent dispersals;
+	// batchSeq does the same for batch blob ids (see batch.go).
 	stageSeq atomic.Int64
+	batchSeq atomic.Int64
 
 	// obsReg/obsm are the metrics registry and pre-resolved instruments;
 	// see degraded.go. tracer roots one hierarchical trace per vault op
@@ -106,6 +120,15 @@ type vaultObject struct {
 	// kept client-side: degraded reads use them to discard rotted shards
 	// and probe further nodes, and Scrub uses them to localise damage.
 	digests [][sha256.Size]byte
+	// chunks holds per-chunk encoding state for objects written through
+	// the pipelined chunked path (len > chunkSize); nil for monolithic
+	// objects. See pipeline.go.
+	chunks []chunkMeta
+	// batch points at the shared stripe state when this object is a
+	// member of a batched small-object write; nil otherwise. See batch.go.
+	batch *batchState
+	// batchIndex is this member's position in batch.members.
+	batchIndex int
 }
 
 // stripeIndex hashes an object id onto its lock stripe (FNV-1a).
@@ -161,6 +184,15 @@ func WithRetryPolicy(p cluster.RetryPolicy) VaultOption {
 	return func(v *Vault) { v.retry = p }
 }
 
+// WithChunkSize sets the pipelined writer's chunk size
+// (DefaultChunkSize otherwise): objects larger than n bytes are split
+// into n-byte chunks whose encode and staging overlap as a bounded
+// pipeline, instead of encode-all-then-disperse-all. n <= 0 disables
+// chunking. Tests use small n to exercise multi-chunk objects cheaply.
+func WithChunkSize(n int) VaultOption {
+	return func(v *Vault) { v.chunkSize = n }
+}
+
 // WithParallelism bounds the goroutines each encode/decode may use, when
 // the vault's encoding supports it (implements Parallelizable). n <= 0
 // selects GOMAXPROCS; 1 forces serial encodes. Encodings that do not
@@ -187,6 +219,7 @@ func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, er
 		Group:         group.Default(),
 		rnd:           rand.Reader,
 		retry:         cluster.DefaultRetry,
+		chunkSize:     DefaultChunkSize,
 		obsReg:        obs.Default(),
 	}
 	for i := range v.stripes {
@@ -250,6 +283,9 @@ func (v *Vault) put(ctx context.Context, id string, data []byte) error {
 	st.mu.RUnlock()
 	if exists {
 		return fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	if v.chunkSize > 0 && len(data) > v.chunkSize {
+		return v.putChunked(ctx, id, data)
 	}
 	// The CPU-heavy work — encoding and chain construction — runs outside
 	// every lock so that concurrent Puts overlap even within a stripe.
@@ -317,26 +353,43 @@ func (v *Vault) put(ctx context.Context, id string, data []byte) error {
 // objects overlap fully, and the atomic stageSeq keeps their tokens
 // distinct.
 func (v *Vault) disperse(ctx context.Context, id string, enc *Encoded) error {
-	stage := fmt.Sprintf("vault:%s#%d", id, v.stageSeq.Add(1))
+	stage := v.newStageToken(id)
 	ctx, ssp := trace.Child(ctx, "cluster.stage", trace.Str("object", id))
-	for i, sh := range enc.Shards {
+	if err := v.stageShards(ctx, stage, id, 0, enc.Shards); err != nil {
+		v.Cluster.AbortStage(stage)
+		ssp.Event("stage.aborted")
+		ssp.End(err)
+		return err
+	}
+	n := v.Cluster.CommitStage(stage)
+	ssp.Event("stage.committed", trace.Int("shards", n))
+	ssp.End(nil)
+	return nil
+}
+
+// newStageToken mints a stage token unique across concurrent dispersals.
+func (v *Vault) newStageToken(id string) string {
+	return fmt.Sprintf("vault:%s#%d", id, v.stageSeq.Add(1))
+}
+
+// stageShards stages one chunk's shards under an open stage token,
+// retrying transient faults per the vault's policy. The caller owns the
+// token's lifecycle: commit after every chunk is staged, abort on any
+// error — that single commit is what keeps multi-chunk and multi-member
+// writes atomic.
+func (v *Vault) stageShards(ctx context.Context, stage, id string, chunk int, shards [][]byte) error {
+	for i, sh := range shards {
 		if sh == nil {
 			continue
 		}
 		i, sh := i, sh
 		err := cluster.RetryTransientCtx(ctx, v.retry, func() error {
-			return v.Cluster.PutStaged(i, stage, cluster.ShardKey{Object: id, Index: i}, sh)
+			return v.Cluster.PutStaged(i, stage, cluster.ShardKey{Object: id, Index: i, Chunk: chunk}, sh)
 		})
 		if err != nil {
-			v.Cluster.AbortStage(stage)
-			ssp.Event("stage.aborted", trace.Int("shard", i))
-			ssp.End(err)
-			return fmt.Errorf("core: disperse %s shard %d: %w", id, i, err)
+			return fmt.Errorf("core: disperse %s chunk %d shard %d: %w", id, chunk, i, err)
 		}
 	}
-	n := v.Cluster.CommitStage(stage)
-	ssp.Event("stage.committed", trace.Int("shards", n))
-	ssp.End(nil)
 	return nil
 }
 
@@ -387,6 +440,12 @@ func (v *Vault) get(ctx context.Context, id string) ([]byte, error) {
 // the encoding's minimum returns *DegradedError (errors.Is ErrDegraded)
 // carrying got/want and the per-node causes, never a raw decode error.
 func (v *Vault) readObject(ctx context.Context, id string, obj *vaultObject) ([]byte, error) {
+	if obj.batch != nil {
+		return v.readBatchMember(ctx, id, obj)
+	}
+	if len(obj.chunks) > 0 {
+		return v.readChunked(ctx, id, obj)
+	}
 	sp := trace.FromContext(ctx)
 	n, min := v.Encoding.Shards()
 	res := v.Cluster.FetchStripeCtx(ctx, id, n, min, v.retry, func(i int, data []byte) bool {
@@ -477,6 +536,11 @@ func (v *Vault) RenewIntegrity(id string, scheme sig.Scheme) error {
 	if !obj.live.Load() {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	if obj.batch != nil {
+		// Batch members share one chain; serialise against batchmates.
+		obj.batch.mu.Lock()
+		defer obj.batch.mu.Unlock()
+	}
 	return obj.chain.Renew(scheme, v.Cluster.Epoch(), v.rnd)
 }
 
@@ -514,9 +578,22 @@ func (v *Vault) renewShares(ctx context.Context, id string) error {
 	if !obj.live.Load() {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	if obj.batch != nil {
+		return v.renewBatchMember(ctx, id, obj)
+	}
 	data, err := v.readObject(ctx, id, obj)
 	if err != nil {
 		return err
+	}
+	if len(obj.chunks) > 0 {
+		// Chunked objects renew through the same pipelined encode→stage
+		// path Put used; the single commit keeps the rewrite atomic.
+		metas, err := v.disperseChunked(ctx, id, data)
+		if err != nil {
+			return fmt.Errorf("core: renewal of %s rolled back: %w", id, err)
+		}
+		obj.chunks = metas
+		return nil
 	}
 	_, esp := trace.Child(ctx, "vault.encode", trace.Int("bytes", len(data)))
 	enc, err := v.Encoding.Encode(data, v.rnd)
@@ -566,9 +643,19 @@ func (v *Vault) deleteObject(ctx context.Context, id string) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	obj.live.Store(false)
-	n, _ := v.Encoding.Shards()
-	for i := 0; i < n; i++ {
-		v.Cluster.Delete(i, cluster.ShardKey{Object: id, Index: i})
+	if obj.batch != nil {
+		v.releaseBatchMember(id, obj)
+	} else {
+		n, _ := v.Encoding.Shards()
+		chunks := len(obj.chunks)
+		if chunks == 0 {
+			chunks = 1
+		}
+		for c := 0; c < chunks; c++ {
+			for i := 0; i < n; i++ {
+				v.Cluster.Delete(i, cluster.ShardKey{Object: id, Index: i, Chunk: c})
+			}
+		}
 	}
 	st := v.stripe(id)
 	st.mu.Lock()
@@ -591,6 +678,10 @@ func (v *Vault) ExportEvidence(id string) ([]byte, error) {
 	defer obj.mu.RUnlock()
 	if !obj.live.Load() {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if obj.batch != nil {
+		obj.batch.mu.RLock()
+		defer obj.batch.mu.RUnlock()
 	}
 	return obj.chain.Marshal()
 }
@@ -619,6 +710,17 @@ func (v *Vault) StorageCost(id string) float64 {
 	defer obj.mu.RUnlock()
 	if !obj.live.Load() || obj.enc.PlainLen == 0 {
 		return 0
+	}
+	if obj.batch != nil {
+		// Members share one stripe; report the blob's overhead ratio, the
+		// same for every batchmate.
+		bs := obj.batch
+		bs.mu.RLock()
+		defer bs.mu.RUnlock()
+		if bs.blobLen == 0 {
+			return 0
+		}
+		return float64(v.Cluster.ObjectBytes(bs.id)) / float64(bs.blobLen)
 	}
 	return float64(v.Cluster.ObjectBytes(id)) / float64(obj.enc.PlainLen)
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 
+	"securearchive/internal/bufpool"
 	"securearchive/internal/gf256"
 	"securearchive/internal/parallel"
 )
@@ -114,26 +115,31 @@ func Split(secret []byte, p Params, rnd io.Reader, opts ...Option) ([]Share, err
 		return nil, ErrEmptySecret
 	}
 	slotLen := (len(secret) + p.K - 1) / p.K
-	// slots[s][j]: byte j of slot s (zero-padded).
+	// slots[s][j]: byte j of slot s (zero-padded), then the blinding
+	// values at points k..k+t-1. Both are scratch, dead once evaluation
+	// finishes, so they share one pooled buffer — slots first, blind
+	// after, with a single ReadFull over the blind region drawing random
+	// bytes in the same order as the seed's per-block reads.
+	scratch := bufpool.Get((p.K + p.T) * slotLen)
+	defer scratch.Release()
 	slots := make([][]byte, p.K)
 	for s := range slots {
-		slots[s] = make([]byte, slotLen)
+		blk := scratch.B[s*slotLen : (s+1)*slotLen : (s+1)*slotLen]
 		lo := s * slotLen
+		n := 0
 		if lo < len(secret) {
-			hi := lo + slotLen
-			if hi > len(secret) {
-				hi = len(secret)
-			}
-			copy(slots[s], secret[lo:hi])
+			n = copy(blk, secret[lo:min(lo+slotLen, len(secret))])
 		}
+		clear(blk[n:]) // pooled memory is dirty; restore the zero padding
+		slots[s] = blk
 	}
-	// Blinding values at points k..k+t-1.
+	blindRegion := scratch.B[p.K*slotLen:]
+	if _, err := io.ReadFull(rnd, blindRegion); err != nil {
+		return nil, fmt.Errorf("packed: reading randomness: %w", err)
+	}
 	blind := make([][]byte, p.T)
 	for b := range blind {
-		blind[b] = make([]byte, slotLen)
-		if _, err := io.ReadFull(rnd, blind[b]); err != nil {
-			return nil, fmt.Errorf("packed: reading randomness: %w", err)
-		}
+		blind[b] = blindRegion[b*slotLen : (b+1)*slotLen : (b+1)*slotLen]
 	}
 
 	// Interpolation points: 0..k-1 (secrets), k..k+t-1 (blinding). The
@@ -197,7 +203,7 @@ func Combine(shares []Share, opts ...Option) ([]byte, error) {
 	if len(shares) < need {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), need)
 	}
-	seen := make(map[byte]bool, len(shares))
+	var seen [256]bool
 	for _, s := range shares {
 		if int(s.Threshold) != t || int(s.PackCount) != k || s.SecretLen != secLen || len(s.Payload) != slotLen {
 			return nil, ErrShapeMismatch
@@ -212,15 +218,19 @@ func Combine(shares []Share, opts ...Option) ([]byte, error) {
 	for i, s := range use {
 		xs[i] = s.X
 	}
-	out := make([]byte, 0, secLen)
+	out := make([]byte, 0, k*slotLen)
 	// Interpolate the polynomial at each secret point 0..k-1. The job
 	// space is (slot × byte-chunk): each worker owns a disjoint range of
-	// one slot buffer.
+	// one slot buffer. Slot buffers are pooled scratch, zeroed because
+	// MulSliceTable accumulates into them.
+	sb := bufpool.Get(k * slotLen)
+	defer sb.Release()
+	sb.Zero()
 	slots := make([][]byte, k)
 	lcs := make([][]byte, k)
 	for s := 0; s < k; s++ {
 		lcs[s] = gf256.LagrangeCoeffs(xs, byte(s))
-		slots[s] = make([]byte, slotLen)
+		slots[s] = sb.B[s*slotLen : (s+1)*slotLen : (s+1)*slotLen]
 	}
 	nchunks := min((slotLen+chunkGrain-1)/chunkGrain, parallel.Workers(cfg.par))
 	if nchunks < 1 {

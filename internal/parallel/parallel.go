@@ -16,15 +16,21 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers resolves a requested parallelism degree: values <= 0 select
-// runtime.GOMAXPROCS(0), anything else is returned unchanged. This is the
-// single knob the WithParallelism options across rs/shamir/packed/core
-// funnel into.
+// runtime.GOMAXPROCS(0), and any request is clamped at GOMAXPROCS — the
+// fork-join helpers here run CPU-bound coding kernels, so workers beyond
+// the scheduler's parallelism are pure goroutine churn (visible as
+// per-put goroutine spawn storms in pprof when tiny batched stripes ask
+// for W=64 on a small box). This is the single knob the WithParallelism
+// options across rs/shamir/packed/core funnel into; the per-call chunk
+// count in For supplies the third clamp term, min(requested, GOMAXPROCS,
+// rows).
 func Workers(n int) int {
-	if n <= 0 {
-		return runtime.GOMAXPROCS(0)
+	if g := runtime.GOMAXPROCS(0); n <= 0 || n > g {
+		return g
 	}
 	return n
 }
@@ -83,30 +89,96 @@ func Span(n, k, i int) (lo, hi int) {
 }
 
 // Do runs the given functions with at most p executing concurrently
-// (p <= 0 means GOMAXPROCS) and returns when all have finished.
+// (p <= 0 means GOMAXPROCS) and returns when all have finished. Exactly
+// min(p, len(fns)) goroutines are spawned (one of them the caller), each
+// pulling tasks from a shared index — the seed version spawned one
+// goroutine per task and merely bounded concurrency with a semaphore,
+// which showed up as per-put goroutine churn under profiling.
 func Do(p int, fns ...func()) {
 	if len(fns) == 0 {
 		return
 	}
 	p = Workers(p)
-	if p == 1 || len(fns) == 1 {
+	if p > len(fns) {
+		p = len(fns)
+	}
+	if p == 1 {
 		for _, fn := range fns {
 			fn()
 		}
 		return
 	}
-	sem := make(chan struct{}, p)
-	var wg sync.WaitGroup
-	wg.Add(len(fns))
-	for _, fn := range fns {
-		sem <- struct{}{}
-		go func(fn func()) {
-			defer func() {
-				<-sem
-				wg.Done()
-			}()
-			fn()
-		}(fn)
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(fns) {
+				return
+			}
+			fns[i]()
+		}
 	}
+	var wg sync.WaitGroup
+	wg.Add(p - 1)
+	for i := 1; i < p; i++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
 	wg.Wait()
+}
+
+// Pipeline runs a two-stage producer/consumer pipeline over a bounded
+// channel of depth items: produce emits values (encode), consume drains
+// them in emission order (stage/disperse), and the bound keeps at most
+// depth values in flight — the backpressure that lets dispersal of chunk
+// i overlap encoding of chunk i+1 without buffering a whole object.
+//
+// produce runs on its own goroutine; consume runs on the caller's. emit
+// returns false once the consumer has failed, telling the producer to
+// stop early. Pipeline returns the consumer's error if any, else the
+// producer's. Values emitted after a consumer failure are discarded, and
+// drop — when non-nil — is called on each discarded value so pooled
+// resources can be reclaimed; it may run on either goroutine and must be
+// safe for concurrent use.
+func Pipeline[T any](depth int, produce func(emit func(T) bool) error, consume func(T) error, drop func(T)) error {
+	if depth < 1 {
+		depth = 1
+	}
+	ch := make(chan T, depth)
+	stop := make(chan struct{})
+	prodErr := make(chan error, 1)
+	go func() {
+		defer close(ch)
+		prodErr <- produce(func(v T) bool {
+			select {
+			case ch <- v:
+				return true
+			case <-stop:
+				if drop != nil {
+					drop(v)
+				}
+				return false
+			}
+		})
+	}()
+	var consErr error
+	for v := range ch {
+		if consErr != nil {
+			if drop != nil {
+				drop(v)
+			}
+			continue
+		}
+		if err := consume(v); err != nil {
+			consErr = err
+			close(stop)
+		}
+	}
+	if err := <-prodErr; consErr == nil && err != nil {
+		return err
+	}
+	return consErr
 }

@@ -1,20 +1,34 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
 )
 
 func TestWorkers(t *testing.T) {
-	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	g := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != g {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, g)
 	}
-	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	if got := Workers(-3); got != g {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, g)
 	}
-	if got := Workers(7); got != 7 {
-		t.Fatalf("Workers(7) = %d", got)
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	// Requests beyond the scheduler's parallelism clamp at GOMAXPROCS —
+	// extra workers on a CPU-bound kernel are pure goroutine churn.
+	want := 7
+	if want > g {
+		want = g
+	}
+	if got := Workers(7); got != want {
+		t.Fatalf("Workers(7) = %d, want %d (GOMAXPROCS=%d)", got, want, g)
+	}
+	if got := Workers(1 << 20); got != g {
+		t.Fatalf("Workers(1<<20) = %d, want %d", got, g)
 	}
 }
 
@@ -96,5 +110,131 @@ func TestDo(t *testing.T) {
 	Do(1, fns...)
 	if sum != 37*36/2 {
 		t.Fatalf("Do serial: sum = %d, want %d", sum, 37*36/2)
+	}
+}
+
+// TestDoBoundsGoroutines verifies Do spawns at most min(p, len(fns))-1
+// extra goroutines (the caller is one worker): concurrency observed from
+// inside the tasks never exceeds the bound.
+func TestDoBoundsGoroutines(t *testing.T) {
+	const p = 2
+	var cur, peak int64
+	fns := make([]func(), 64)
+	for i := range fns {
+		fns[i] = func() {
+			c := atomic.AddInt64(&cur, 1)
+			for {
+				old := atomic.LoadInt64(&peak)
+				if c <= old || atomic.CompareAndSwapInt64(&peak, old, c) {
+					break
+				}
+			}
+			atomic.AddInt64(&cur, -1)
+		}
+	}
+	Do(p, fns...)
+	bound := int64(p)
+	if g := int64(runtime.GOMAXPROCS(0)); bound > g {
+		bound = g
+	}
+	if peak > bound {
+		t.Fatalf("Do(%d): observed concurrency %d > bound %d", p, peak, bound)
+	}
+	// One task with huge p must not panic or deadlock.
+	ran := false
+	Do(1<<20, func() { ran = true })
+	if !ran {
+		t.Fatal("single fn not run")
+	}
+}
+
+func TestPipelineOrdered(t *testing.T) {
+	var got []int
+	err := Pipeline(2,
+		func(emit func(int) bool) error {
+			for i := 0; i < 100; i++ {
+				if !emit(i) {
+					t.Error("emit rejected without consumer failure")
+				}
+			}
+			return nil
+		},
+		func(v int) error {
+			got = append(got, v)
+			return nil
+		},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("consumed %d values", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestPipelineProducerError(t *testing.T) {
+	wantErr := errors.New("produce failed")
+	n := 0
+	err := Pipeline(4,
+		func(emit func(int) bool) error {
+			emit(1)
+			emit(2)
+			return wantErr
+		},
+		func(v int) error { n++; return nil },
+		nil,
+	)
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if n != 2 {
+		t.Fatalf("consumed %d before producer error surfaced, want 2", n)
+	}
+}
+
+// TestPipelineConsumerError checks that a consumer failure stops the
+// producer early, wins over the producer's error, and routes every
+// unconsumed value through drop (pooled-buffer reclamation).
+func TestPipelineConsumerError(t *testing.T) {
+	wantErr := errors.New("consume failed")
+	// drop runs on whichever goroutine discards the value (producer via a
+	// rejected emit, consumer while draining), so count atomically.
+	var emitted, dropped, consumed atomic.Int64
+	err := Pipeline(1,
+		func(emit func(int) bool) error {
+			for i := 0; i < 1000; i++ {
+				if !emit(i) {
+					return errors.New("stopped early")
+				}
+				emitted.Add(1)
+			}
+			return nil
+		},
+		func(v int) error {
+			consumed.Add(1)
+			if v == 3 {
+				return wantErr
+			}
+			return nil
+		},
+		func(int) { dropped.Add(1) },
+	)
+	if err != wantErr {
+		t.Fatalf("err = %v, want consumer error %v", err, wantErr)
+	}
+	if emitted.Load() >= 1000 {
+		t.Fatal("producer ran to completion despite consumer failure")
+	}
+	// Everything emitted was either consumed or dropped — nothing leaked.
+	// (+1: the in-flight value the rejected emit itself dropped.)
+	if consumed.Load()+dropped.Load() != emitted.Load()+1 {
+		t.Fatalf("emitted=%d (+1 in-flight) consumed=%d dropped=%d: values leaked",
+			emitted.Load(), consumed.Load(), dropped.Load())
 	}
 }

@@ -41,6 +41,7 @@ func BenchmarkRSEncodeParallel(b *testing.B) {
 		label := sizeLabel(payload)
 		b.Run("scalar/"+label, func(b *testing.B) {
 			b.SetBytes(int64(payload))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := scalar.encodeShardsScalar(shards); err != nil {
 					b.Fatal(err)
@@ -49,6 +50,7 @@ func BenchmarkRSEncodeParallel(b *testing.B) {
 		})
 		b.Run("p1/"+label, func(b *testing.B) {
 			b.SetBytes(int64(payload))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := scalar.EncodeShards(shards); err != nil {
 					b.Fatal(err)
@@ -57,10 +59,40 @@ func BenchmarkRSEncodeParallel(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("p%d/%s", maxprocs, label), func(b *testing.B) {
 			b.SetBytes(int64(payload))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := parN.EncodeShards(shards); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkRSEncodeInto measures the pooled split+parity path used by
+// the vault's batched/chunked writers; allocs/op should read 0 for
+// sub-grain payloads once the pools are warm.
+func BenchmarkRSEncodeInto(b *testing.B) {
+	const k, m = 10, 4
+	c, err := Cached(k, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, payload := range []int{4 << 10, 48 << 10, 1 << 20} {
+		data := make([]byte, payload)
+		rand.New(rand.NewSource(int64(payload))).Read(data)
+		b.Run(sizeLabel(payload), func(b *testing.B) {
+			b.SetBytes(int64(payload))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := c.AcquireShards(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.EncodeInto(data, s); err != nil {
+					b.Fatal(err)
+				}
+				s.Release()
 			}
 		})
 	}

@@ -1,0 +1,5 @@
+//go:build race
+
+package rs
+
+const raceEnabled = true

@@ -23,7 +23,9 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 
+	"securearchive/internal/bufpool"
 	"securearchive/internal/gf256"
 	"securearchive/internal/matrix"
 	"securearchive/internal/parallel"
@@ -108,6 +110,31 @@ func New(data, parity int, opts ...Option) (*Code, error) {
 		o(c)
 	}
 	return c, nil
+}
+
+// codeCache shares constructed Codes across the per-operation Encoding
+// values in internal/core: building a Code prices a Cauchy matrix plus a
+// table pointer per coefficient, which the seed paid on EVERY
+// Encode/Decode call — a fixed tax that dominated small-object puts.
+var codeCache sync.Map // cacheKey -> *Code
+
+type cacheKey struct{ data, parity, par int }
+
+// Cached returns a process-shared Code for the given shape and worker
+// bound, constructing it at most once. Codes are immutable and safe for
+// concurrent use, so sharing is free; par is part of the key because it
+// is fixed at construction.
+func Cached(data, parity, par int) (*Code, error) {
+	key := cacheKey{data, parity, par}
+	if v, ok := codeCache.Load(key); ok {
+		return v.(*Code), nil
+	}
+	c, err := New(data, parity, WithParallelism(par))
+	if err != nil {
+		return nil, err
+	}
+	v, _ := codeCache.LoadOrStore(key, c)
+	return v.(*Code), nil
 }
 
 // rowTables caches a gf256 multiplication table pointer per coefficient
@@ -206,7 +233,10 @@ func (c *Code) Encode(data []byte) ([][]byte, error) {
 // EncodeShards computes parity in place: shards must hold n slices of equal
 // length, the first k containing data; the last m are overwritten. The
 // work is split across goroutines by parity row and byte range, bounded
-// by the code's parallelism.
+// by the code's parallelism. Payloads below the parallel grain run fully
+// inline — no goroutines, no closure allocation — which is what makes
+// the steady-state 0 allocs/op gate hold on the batched small-stripe
+// path.
 func (c *Code) EncodeShards(shards [][]byte) error {
 	if err := c.checkShape(shards, true); err != nil {
 		return err
@@ -215,16 +245,101 @@ func (c *Code) EncodeShards(shards [][]byte) error {
 		return nil
 	}
 	size := len(shards[0])
-	c.forRowChunks(c.parity, size, func(i, lo, hi int) {
-		row := c.gen.Row(c.data + i)
-		tabs := c.parityTabs[i]
-		out := shards[c.data+i][lo:hi]
-		mulAssign(row[0], tabs[0], shards[0][lo:hi], out)
-		for j := 1; j < c.data; j++ {
-			mulAcc(row[j], tabs[j], shards[j][lo:hi], out)
+	if size < chunkGrain || parallel.Workers(c.par) == 1 {
+		for i := 0; i < c.parity; i++ {
+			c.encodeRowRange(i, 0, size, shards)
 		}
+		return nil
+	}
+	c.forRowChunks(c.parity, size, func(i, lo, hi int) {
+		c.encodeRowRange(i, lo, hi, shards)
 	})
 	return nil
+}
+
+// encodeRowRange computes parity row i over byte range [lo, hi).
+func (c *Code) encodeRowRange(i, lo, hi int, shards [][]byte) {
+	row := c.gen.Row(c.data + i)
+	tabs := c.parityTabs[i]
+	out := shards[c.data+i][lo:hi]
+	mulAssign(row[0], tabs[0], shards[0][lo:hi], out)
+	for j := 1; j < c.data; j++ {
+		mulAcc(row[j], tabs[j], shards[j][lo:hi], out)
+	}
+}
+
+// ShardSet is a pooled set of shard buffers carved out of one contiguous
+// pooled allocation. Acquire with Code.AcquireShards, fill via
+// Code.EncodeInto, and Release when the shards have been copied out (the
+// cluster copies on Put, so release immediately after dispersal).
+type ShardSet struct {
+	Shards [][]byte
+	buf    *bufpool.Buf
+}
+
+var shardSetPool = sync.Pool{New: func() any { return new(ShardSet) }}
+
+// AcquireShards returns a pooled ShardSet holding TotalShards() slices
+// of ShardSize(dataLen) bytes each. Contents are NOT zeroed — EncodeInto
+// overwrites every byte.
+func (c *Code) AcquireShards(dataLen int) (*ShardSet, error) {
+	if dataLen <= 0 {
+		return nil, ErrEmptyData
+	}
+	n := c.TotalShards()
+	size := c.ShardSize(dataLen)
+	s := shardSetPool.Get().(*ShardSet)
+	s.buf = bufpool.Get(n * size)
+	if cap(s.Shards) < n {
+		s.Shards = make([][]byte, n)
+	} else {
+		s.Shards = s.Shards[:n]
+	}
+	for i := 0; i < n; i++ {
+		s.Shards[i] = s.buf.B[i*size : (i+1)*size : (i+1)*size]
+	}
+	return s, nil
+}
+
+// Release returns the set and its backing buffer to their pools. The
+// shard slices must not be used afterwards.
+func (s *ShardSet) Release() {
+	if s == nil {
+		return
+	}
+	for i := range s.Shards {
+		s.Shards[i] = nil
+	}
+	s.buf.Release()
+	s.buf = nil
+	shardSetPool.Put(s)
+}
+
+// EncodeInto splits data into the set's k data shards (zero-padding the
+// final shard) and computes the m parity shards in place — the pooled,
+// allocation-free counterpart of Encode. The set must come from
+// AcquireShards(len(data)) on the same code.
+func (c *Code) EncodeInto(data []byte, s *ShardSet) error {
+	if len(data) == 0 {
+		return ErrEmptyData
+	}
+	if len(s.Shards) != c.TotalShards() {
+		return fmt.Errorf("%w: set has %d, want %d", ErrShardCount, len(s.Shards), c.TotalShards())
+	}
+	size := len(s.Shards[0])
+	if size != c.ShardSize(len(data)) {
+		return fmt.Errorf("%w: shard size %d for %d data bytes", ErrInvalidDataSize, size, len(data))
+	}
+	for i := 0; i < c.data; i++ {
+		lo := i * size
+		m := 0
+		if lo < len(data) {
+			m = copy(s.Shards[i], data[lo:min(lo+size, len(data))])
+		}
+		// Pooled memory is dirty; zero the padding tail explicitly.
+		clear(s.Shards[i][m:])
+	}
+	return c.EncodeShards(s.Shards)
 }
 
 // forRowChunks runs fn(row, lo, hi) over the product of `rows` output
@@ -258,9 +373,12 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 		return true, nil
 	}
 	size := len(shards[0])
-	// One scratch buffer for all parity rows: the first column overwrites
-	// it, so no per-row zeroing pass is needed.
-	scratch := make([]byte, size)
+	// One pooled scratch buffer for all parity rows: the first column
+	// overwrites it, so no per-row zeroing pass is needed (scrub loops
+	// call Verify per stripe — unpooled scratch was measurable garbage).
+	sb := bufpool.Get(size)
+	defer sb.Release()
+	scratch := sb.B
 	for i := 0; i < c.parity; i++ {
 		row := c.gen.Row(c.data + i)
 		tabs := c.parityTabs[i]

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 
+	"securearchive/internal/bufpool"
 	"securearchive/internal/gf256"
 	"securearchive/internal/parallel"
 )
@@ -119,7 +120,7 @@ func SplitAt(secret []byte, xs []byte, t int, rnd io.Reader, opts ...Option) ([]
 	if len(secret) == 0 {
 		return nil, ErrEmptySecret
 	}
-	seen := make(map[byte]bool, n)
+	var seen [256]bool
 	for _, x := range xs {
 		if x == 0 {
 			return nil, ErrInvalidShareX
@@ -132,14 +133,21 @@ func SplitAt(secret []byte, xs []byte, t int, rnd io.Reader, opts ...Option) ([]
 
 	// Coefficient blocks: block 0 is the secret, blocks 1..t-1 are random.
 	// All randomness is drawn here, before any worker starts, so the output
-	// does not depend on goroutine scheduling.
+	// does not depend on goroutine scheduling. The random blocks are pure
+	// scratch — dead once the Horner pass finishes — so they live in one
+	// pooled buffer; a single ReadFull draws the same bytes in the same
+	// order as the seed's per-block reads, keeping seeded tests stable.
 	L := len(secret)
 	coeffs := make([][]byte, t)
 	coeffs[0] = secret
-	for j := 1; j < t; j++ {
-		coeffs[j] = make([]byte, L)
-		if _, err := io.ReadFull(rnd, coeffs[j]); err != nil {
+	if t > 1 {
+		cb := bufpool.Get((t - 1) * L)
+		defer cb.Release()
+		if _, err := io.ReadFull(rnd, cb.B); err != nil {
 			return nil, fmt.Errorf("shamir: reading randomness: %w", err)
+		}
+		for j := 1; j < t; j++ {
+			coeffs[j] = cb.B[(j-1)*L : j*L : j*L]
 		}
 	}
 
@@ -241,7 +249,7 @@ func validate(shares []Share) error {
 		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), t)
 	}
 	L := len(shares[0].Payload)
-	seen := make(map[byte]bool, len(shares))
+	var seen [256]bool
 	for _, s := range shares {
 		if s.Threshold != t {
 			return ErrInvalidThreshold

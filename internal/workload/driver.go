@@ -37,6 +37,18 @@ type OpMix struct {
 // verification and a trickle of scrubbing.
 func DefaultMix() OpMix { return OpMix{Put: 0.45, Get: 0.45, Scrub: 0.10} }
 
+// SmallObjectMix models metadata-heavy bulk ingest — the many-tiny-records
+// regime (file manifests, audit entries, per-document keys) where fixed
+// per-put costs dominate and write batching pays. It is put-only: the
+// sweep isolates the write path the batcher changes, while member reads
+// ride the same vault surface as any object and are measured by the main
+// saturation sweep.
+func SmallObjectMix() OpMix { return OpMix{Put: 1} }
+
+// SmallObjectBytes is the canonical small-object size the batched
+// saturation sweep measures (papereval -saturate-small).
+const SmallObjectBytes = 4 << 10
+
 // SaturationConfig parameterises one closed-loop run.
 type SaturationConfig struct {
 	// Workers is W, the closed-loop concurrency.
@@ -60,6 +72,11 @@ type SaturationConfig struct {
 	// contention-heavy variant. Default (false) exercises the
 	// distinct-object fast path: each Put creates a fresh id.
 	SharedIDs bool
+	// Batched routes every measured Put through one shared core.Batcher
+	// (the small-object group-commit path) instead of Vault.Put. Gets and
+	// Scrubs are unchanged — members read and scrub through the same vault
+	// surface as any object.
+	Batched bool
 }
 
 func (cfg SaturationConfig) normalize() (SaturationConfig, error) {
@@ -143,6 +160,12 @@ func Saturate(v *core.Vault, reg *obs.Registry, cfg SaturationConfig) (*Saturati
 	)
 	perWorker := cfg.TotalOps / cfg.Workers
 	total := float64(cfg.Mix.Put + cfg.Mix.Get + cfg.Mix.Scrub)
+	put := v.Put
+	if cfg.Batched {
+		b := v.NewBatcher()
+		defer b.Close()
+		put = b.Put
+	}
 
 	reg.Reset()
 	start := time.Now()
@@ -165,7 +188,7 @@ func Saturate(v *core.Vault, reg *obs.Registry, cfg SaturationConfig) (*Saturati
 						id = fmt.Sprintf("hot-%03d", seq%8)
 					}
 					seq++
-					err := v.Put(id, payloadFor(id, cfg.ObjectBytes))
+					err := put(id, payloadFor(id, cfg.ObjectBytes))
 					puts.Add(1)
 					if err != nil && !cfg.SharedIDs {
 						errCount.Add(1)

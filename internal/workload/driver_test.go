@@ -69,6 +69,30 @@ func TestSaturateSharedIDs(t *testing.T) {
 	}
 }
 
+func TestSaturateBatchedRoundTrip(t *testing.T) {
+	v, reg := benchVault(t, nil)
+	res, err := Saturate(v, reg, SaturationConfig{
+		Workers: 4, TotalOps: 48, ObjectBytes: SmallObjectBytes, Preload: 2,
+		Mix: SmallObjectMix(), Seed: 9, Batched: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors on a healthy cluster", res.Errors)
+	}
+	// Batched members must read back bit-exact through the plain vault
+	// surface after the driver's shared Batcher is gone.
+	id := "w000-000000"
+	data, err := v.Get(id)
+	if err != nil {
+		t.Fatalf("get batched member %s: %v", id, err)
+	}
+	if !bytesEqual(data, payloadFor(id, SmallObjectBytes)) {
+		t.Fatalf("batched member %s read back wrong payload", id)
+	}
+}
+
 func TestSaturateRejectsBadWorkers(t *testing.T) {
 	v, reg := benchVault(t, nil)
 	if _, err := Saturate(v, reg, SaturationConfig{Workers: 0}); err == nil {
@@ -131,5 +155,42 @@ func TestStripeScalingGate(t *testing.T) {
 	}
 	if x := ScalingX(runs, 1, 16); x < 2 {
 		t.Errorf("W=16 throughput only %.2fx of W=1, want >= 2x (striping regression?)", x)
+	}
+}
+
+// TestSmallObjectBatchingGate is the acceptance gate for the group-commit
+// write batcher: 4 KiB put-only ingest at W=16 through a shared Batcher
+// must push ≥ 2× the throughput of the same workload through plain
+// Vault.Put. The win is amortisation of fixed per-put costs (signature,
+// integrity chain, per-stripe staging round trips) across a whole batch,
+// not parallelism — so the gate pins GOMAXPROCS=1 for its duration to
+// measure exactly that regime on any host; multicore scaling of
+// independent puts is TestStripeScalingGate's business.
+func TestSmallObjectBatchingGate(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	cfg := SaturationConfig{
+		Workers:     16,
+		TotalOps:    960,
+		ObjectBytes: SmallObjectBytes,
+		Preload:     2,
+		Mix:         SmallObjectMix(),
+		Seed:        17,
+	}
+	var ops [2]float64
+	for i, batched := range []bool{false, true} {
+		c := cfg
+		c.Batched = batched
+		v, reg := benchVault(t, nil)
+		res, err := Saturate(v, reg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("batched=%v: %d errors on a healthy cluster", batched, res.Errors)
+		}
+		ops[i] = res.OpsPerSec
+	}
+	if x := ops[1] / ops[0]; x < 2 {
+		t.Errorf("batched 4 KiB ingest only %.2fx of unbatched at W=16, want >= 2x (group-commit regression?)", x)
 	}
 }
