@@ -14,18 +14,24 @@ import (
 	"securearchive/internal/core"
 	"securearchive/internal/group"
 	"securearchive/internal/obs"
+	"securearchive/internal/store"
 	"securearchive/internal/workload"
 )
 
-// cmdBench runs the closed-loop saturation driver against an in-memory
-// cluster for one encoding: W workers issue a put/get/scrub mix, each
-// firing its next op as soon as the previous returns, and the obs
-// registry supplies per-op latency percentiles. -workers takes a
-// comma-separated sweep (fresh cluster+vault per cell). With -offline /
-// -transient / -corrupt the run measures degraded-mode throughput.
+// cmdBench runs the closed-loop saturation driver against a cluster for
+// one encoding: W workers issue a put/get/scrub mix, each firing its
+// next op as soon as the previous returns, and the obs registry supplies
+// per-op latency percentiles. -workers takes a comma-separated sweep
+// (fresh cluster+vault per cell). With -offline / -transient / -corrupt
+// the run measures degraded-mode throughput. -store disk runs against
+// the WAL + segment backend (fresh directory per cell, fsync policy from
+// -fsync) instead of in-memory maps.
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	encName := fs.String("encoding", "shamir", "encoding scheme")
+	storeKind := fs.String("store", "mem", "storage backend: mem or disk")
+	storeDir := fs.String("store-dir", "", "root directory for -store disk cells (default: a temp dir, removed afterwards)")
+	fsyncMode := fs.String("fsync", "", "disk fsync policy: commit (default), always, never")
 	n := fs.Int("n", 8, "total shards / nodes")
 	t := fs.Int("t", 4, "threshold (privacy or decode, per encoding)")
 	k := fs.Int("k", 3, "pack factor (packed encoding only)")
@@ -66,9 +72,38 @@ func cmdBench(args []string) {
 		SharedIDs:   *shared,
 		Batched:     *batch,
 	}
+	if *storeKind != store.BackendMem && *storeKind != store.BackendDisk {
+		fatal(fmt.Errorf("bench: unknown -store backend %q", *storeKind))
+	}
+	root := *storeDir
+	if *storeKind == store.BackendDisk && root == "" {
+		tmp, err := os.MkdirTemp("", "archivectl-bench-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
 	mk := func() (*core.Vault, *obs.Registry, error) {
 		reg := obs.NewRegistry()
-		c := cluster.New(*n, nil)
+		var c *cluster.Cluster
+		if *storeKind == store.BackendDisk {
+			// Every sweep cell starts from an empty archive: reopening a
+			// previous cell's directory would replay its WAL into this one.
+			dir, err := os.MkdirTemp(root, "cell-")
+			if err != nil {
+				return nil, nil, err
+			}
+			var cerr error
+			c, cerr = cluster.Open(*n, nil, store.Config{
+				Backend: store.BackendDisk, Dir: dir, Fsync: *fsyncMode,
+			})
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+		} else {
+			c = cluster.New(*n, nil)
+		}
 		c.UseRegistry(reg)
 		for i := 0; i < *offline; i++ {
 			c.SetOnline(i, false)
@@ -89,9 +124,10 @@ func cmdBench(args []string) {
 	if *asJSON {
 		blob, err := json.MarshalIndent(struct {
 			Encoding  string                       `json:"encoding"`
+			Backend   string                       `json:"backend"`
 			GoMaxProc int                          `json:"gomaxprocs"`
 			Runs      []*workload.SaturationResult `json:"runs"`
-		}{enc.Name(), runtime.GOMAXPROCS(0), runs}, "", "  ")
+		}{enc.Name(), *storeKind, runtime.GOMAXPROCS(0), runs}, "", "  ")
 		if err != nil {
 			fatal(err)
 		}

@@ -26,6 +26,12 @@
 // -saturate-small the report also gains a small_object section: the
 // 4 KiB batched-vs-unbatched sweep that measures the group-commit
 // write batcher's amortisation win.
+//
+// -saturate-store selects the storage backend the sweeps run against:
+// mem (default, map-backed) or disk (WAL + segment files, every commit
+// fsynced). With -saturate-disk the report additionally gains a disk
+// section — the same encoding swept against both backends so the fsync
+// penalty is measured honestly rather than inferred.
 package main
 
 import (
@@ -61,11 +67,13 @@ func main() {
 	satOps := flag.Int("saturate-ops", 192, "total operations per -saturate cell")
 	satObjKiB := flag.Int("saturate-obj", 16, "object size in KiB for -saturate")
 	satSmall := flag.Bool("saturate-small", false, "run the 4 KiB batched-vs-unbatched small-object sweep (small_object section of -saturate-out)")
+	satStore := flag.String("saturate-store", "mem", "storage backend for the -saturate sweeps (mem|disk)")
+	satDisk := flag.Bool("saturate-disk", false, "run the fsync-backed mem-vs-disk sweep (disk section of -saturate-out)")
 	all := flag.Bool("all", false, "run everything")
 	objKiB := flag.Int("obj", 256, "object size in KiB for measurements")
 	flag.Parse()
 
-	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench && !*saturate && !*satSmall {
+	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench && !*saturate && !*satSmall && !*satDisk {
 		*all = true
 	}
 	ran := false
@@ -97,8 +105,8 @@ func main() {
 		runObs(*obsOut, *objKiB)
 		ran = true
 	}
-	if *saturate || *satSmall {
-		runSaturate(*satOut, *satEnc, *satFaults, *satOps, *satObjKiB, *saturate, *satSmall)
+	if *saturate || *satSmall || *satDisk {
+		runSaturate(*satOut, *satEnc, *satStore, *satFaults, *satOps, *satObjKiB, *saturate, *satSmall, *satDisk)
 		ran = true
 	}
 	if !ran {

@@ -13,6 +13,8 @@ import (
 	"securearchive/internal/core"
 	"securearchive/internal/group"
 	"securearchive/internal/obs"
+	"securearchive/internal/store"
+	"securearchive/internal/store/diskstore"
 	"securearchive/internal/workload"
 )
 
@@ -27,6 +29,10 @@ var saturateWorkers = []int{1, 4, 16, 64}
 type saturateReport struct {
 	Schema    string `json:"schema"`
 	GoMaxProc int    `json:"gomaxprocs"`
+	// Backend is the storage backend the main and small-object sweeps ran
+	// against: "mem" (map-backed) or "disk" (WAL + segments, fsync on
+	// commit). The disk section below always compares both.
+	Backend string `json:"backend"`
 	// Workload parameters (shared by every cell).
 	ObjectBytes int            `json:"object_bytes"`
 	TotalOps    int            `json:"total_ops"`
@@ -37,6 +43,25 @@ type saturateReport struct {
 	// SmallObject is the batched-vs-unbatched 4 KiB sweep written by
 	// -saturate-small.
 	SmallObject *smallObjectSection `json:"small_object,omitempty"`
+	// Disk is the fsync-backed mem-vs-disk sweep written by
+	// -saturate-disk.
+	Disk *diskSection `json:"disk,omitempty"`
+}
+
+// diskSection is the -saturate-disk result: one representative encoding
+// swept through the same closed-loop driver twice — once on the
+// in-memory backend and once on the disk backend with its default
+// fsync-on-commit policy, each disk cell in a fresh directory. DiskX16
+// is disk ops/s over mem ops/s at W=16: the honest price of making every
+// stripe commit a durable WAL record, measured rather than hand-waved.
+type diskSection struct {
+	Encoding    string                       `json:"encoding"`
+	ObjectBytes int                          `json:"object_bytes"`
+	TotalOps    int                          `json:"total_ops"`
+	Fsync       string                       `json:"fsync"`
+	Mem         []*workload.SaturationResult `json:"mem"`
+	Disk        []*workload.SaturationResult `json:"disk"`
+	DiskX16     float64                      `json:"disk_x_at_w16"`
 }
 
 // smallObjectSection is the -saturate-small result: the same closed-loop
@@ -83,14 +108,44 @@ func saturateFaultPlan() *cluster.FaultPlan {
 	}
 }
 
+// openBenchCluster builds one sweep cell's cluster on the requested
+// backend. Disk cells each get a fresh directory under root (a cell must
+// start empty — reopening a previous cell's archive would replay its WAL
+// and preload leftovers); SweepWorkers closes the cluster when the cell
+// finishes.
+func openBenchCluster(backend, root string, n int) (*cluster.Cluster, error) {
+	if backend != store.BackendDisk {
+		return cluster.New(n, nil), nil
+	}
+	dir, err := os.MkdirTemp(root, "cell-")
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Open(n, nil, store.Config{Backend: store.BackendDisk, Dir: dir})
+}
+
 // runSaturate sweeps every Figure 1 encoding through the closed-loop
 // driver at saturateWorkers concurrency levels, writing the curves to
 // outPath. encFilter, when non-empty, is a comma-separated substring
-// filter over encoding names (case-insensitive). withMain runs the main
-// per-encoding sweep; withSmall appends the batched-vs-unbatched 4 KiB
-// small-object sweep.
-func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB int, withMain, withSmall bool) {
-	fmt.Println("=== closed-loop saturation sweep (striped-vault scaling) ===")
+// filter over encoding names (case-insensitive). storeBackend selects
+// the backend the main and small-object sweeps run on. withMain runs the
+// main per-encoding sweep; withSmall appends the batched-vs-unbatched
+// 4 KiB small-object sweep; withDisk appends the fsync-backed
+// mem-vs-disk comparison.
+func runSaturate(outPath, encFilter, storeBackend string, withFaults bool, totalOps, objKiB int, withMain, withSmall, withDisk bool) {
+	if storeBackend == "" {
+		storeBackend = store.BackendMem
+	}
+	if storeBackend != store.BackendMem && storeBackend != store.BackendDisk {
+		fatal(fmt.Errorf("unknown -saturate-store backend %q", storeBackend))
+	}
+	root, err := os.MkdirTemp("", "papereval-saturate-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	fmt.Printf("=== closed-loop saturation sweep (striped-vault scaling, %s backend) ===\n", storeBackend)
 	objBytes := objKiB << 10
 	cfg := workload.SaturationConfig{
 		TotalOps:    totalOps,
@@ -102,6 +157,7 @@ func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB in
 	rep := saturateReport{
 		Schema:      "securearchive/bench-saturate/v1",
 		GoMaxProc:   runtime.GOMAXPROCS(0),
+		Backend:     storeBackend,
 		ObjectBytes: objBytes,
 		TotalOps:    cfg.TotalOps,
 		Preload:     cfg.Preload,
@@ -140,7 +196,10 @@ func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB in
 				enc, faulted := enc, faulted
 				mk := func() (*core.Vault, *obs.Registry, error) {
 					reg := obs.NewRegistry()
-					c := cluster.New(8, nil)
+					c, err := openBenchCluster(storeBackend, root, 8)
+					if err != nil {
+						return nil, nil, err
+					}
 					c.UseRegistry(reg)
 					if faulted {
 						c.SetFaultPlan(saturateFaultPlan())
@@ -183,7 +242,11 @@ func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB in
 	}
 
 	if withSmall {
-		rep.SmallObject = runSmallObjectSweep(totalOps)
+		rep.SmallObject = runSmallObjectSweep(storeBackend, root, totalOps)
+	}
+
+	if withDisk {
+		rep.Disk = runDiskSweep(root, totalOps, objBytes)
 	}
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -201,7 +264,7 @@ func runSaturate(outPath, encFilter string, withFaults bool, totalOps, objKiB in
 // a full Vault.Put (signature + commitment chain + 8 staged shards per
 // object), then with all puts funnelled through one shared core.Batcher
 // (group commit: one chain and one stripe per batch).
-func runSmallObjectSweep(totalOps int) *smallObjectSection {
+func runSmallObjectSweep(storeBackend, root string, totalOps int) *smallObjectSection {
 	fmt.Println("=== small-object sweep (4 KiB, batched vs unbatched) ===")
 	enc := core.Erasure{K: 4, N: 8}
 	sec := &smallObjectSection{
@@ -212,7 +275,10 @@ func runSmallObjectSweep(totalOps int) *smallObjectSection {
 	}
 	mk := func() (*core.Vault, *obs.Registry, error) {
 		reg := obs.NewRegistry()
-		c := cluster.New(8, nil)
+		c, err := openBenchCluster(storeBackend, root, 8)
+		if err != nil {
+			return nil, nil, err
+		}
 		c.UseRegistry(reg)
 		v, err := core.NewVault(c, enc,
 			core.WithGroup(group.Test()), core.WithRegistry(reg))
@@ -262,5 +328,76 @@ func runSmallObjectSweep(totalOps int) *smallObjectSection {
 		sec.BatchedX16 = ba / un
 	}
 	fmt.Printf("batched/unbatched at W=16: %.2fx (gate: ≥2x)\n", sec.BatchedX16)
+	return sec
+}
+
+// runDiskSweep measures the durability tax: the same encoding, workload
+// and worker sweep against the in-memory backend and against the disk
+// backend (WAL + append-only segments, fsync on every stripe commit).
+// The ratio at W=16 is the honest cost of crash-consistent archival —
+// closed-loop workers overlap their commits, so group pressure on the
+// shared WAL partially amortises the fsyncs and the sweep shows how much.
+func runDiskSweep(root string, totalOps, objBytes int) *diskSection {
+	fmt.Println("=== durability sweep (mem vs fsync-backed disk) ===")
+	enc := core.Erasure{K: 4, N: 8}
+	sec := &diskSection{
+		Encoding:    enc.Name(),
+		ObjectBytes: objBytes,
+		TotalOps:    totalOps,
+		Fsync:       diskstore.FsyncCommit,
+	}
+	cfg := workload.SaturationConfig{
+		TotalOps:    totalOps,
+		ObjectBytes: objBytes,
+		Preload:     6,
+		Mix:         workload.DefaultMix(),
+		Seed:        1,
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "backend\tW\tops/s\tput p99 (µs)\tget p99 (µs)\terrs\n")
+	for _, backend := range []string{store.BackendMem, store.BackendDisk} {
+		backend := backend
+		mk := func() (*core.Vault, *obs.Registry, error) {
+			reg := obs.NewRegistry()
+			c, err := openBenchCluster(backend, root, 8)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.UseRegistry(reg)
+			v, err := core.NewVault(c, enc,
+				core.WithGroup(group.Test()), core.WithRegistry(reg))
+			return v, reg, err
+		}
+		runs, err := workload.SweepWorkers(saturateWorkers, cfg, mk)
+		if err != nil {
+			fatal(err)
+		}
+		if backend == store.BackendDisk {
+			sec.Disk = runs
+		} else {
+			sec.Mem = runs
+		}
+		for _, r := range runs {
+			fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.0f\t%d\n",
+				backend, r.Workers, r.OpsPerSec,
+				r.PutLatency.P99Ns/1e3, r.GetLatency.P99Ns/1e3, r.Errors)
+		}
+	}
+	w.Flush()
+	var mem, disk float64
+	for _, r := range sec.Mem {
+		if r.Workers == 16 {
+			mem = r.OpsPerSec
+		}
+	}
+	for _, r := range sec.Disk {
+		if r.Workers == 16 {
+			disk = r.OpsPerSec
+		}
+	}
+	if mem > 0 {
+		sec.DiskX16 = disk / mem
+	}
+	fmt.Printf("disk/mem at W=16: %.2fx (fsync=%s)\n", sec.DiskX16, sec.Fsync)
 	return sec
 }

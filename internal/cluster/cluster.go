@@ -3,17 +3,19 @@
 // independent nodes holding shards of archival objects, advancing through
 // epochs, and subject to corruption and failure injection.
 //
-// The simulation is deliberately information-centric rather than
-// network-centric: the paper's arguments are about which node holds which
-// bytes in which epoch, not about TCP behaviour. Every transfer is still
-// metered (bytes in/out per node and cluster-wide), because §3.2's case
-// against re-encryption and share renewal is an aggregate-throughput
-// argument and the numbers must come from somewhere measurable.
+// The simulation is information-centric rather than network-centric: the
+// paper's arguments are about which node holds which bytes in which
+// epoch, not about TCP behaviour. Every transfer is still metered (bytes
+// in/out per node and cluster-wide), because §3.2's case against
+// re-encryption and share renewal is an aggregate-throughput argument and
+// the numbers must come from somewhere measurable.
 //
-// The substitution is documented in DESIGN.md: real archives (tape silos,
-// cloud regions) are replaced by in-memory nodes exposing the same knobs —
-// node count, placement, epoch, corruption — that the paper's threat
-// model manipulates.
+// Where the bytes rest is pluggable: the cluster owns placement, epochs,
+// fault injection and accounting, and delegates at-rest storage to a
+// store.Store — in-memory maps (memstore, the default) or durable
+// append-only segments with a write-ahead log whose stage/commit protocol
+// survives kill -9 (diskstore). See internal/store and DESIGN.md
+// "Durability".
 package cluster
 
 import (
@@ -25,6 +27,9 @@ import (
 	"time"
 
 	"securearchive/internal/obs"
+	"securearchive/internal/store"
+	"securearchive/internal/store/diskstore"
+	"securearchive/internal/store/memstore"
 )
 
 // Errors returned by this package.
@@ -38,23 +43,13 @@ var (
 	ErrTransient = errors.New("cluster: transient I/O error")
 )
 
-// ShardKey addresses one shard of one object version. Objects written
-// monolithically occupy chunk 0; the vault's pipelined writer splits
-// large objects into fixed-size chunks, each encoded as its own stripe,
-// so a shard is addressed by (object, chunk, index). The zero Chunk
-// keeps every pre-chunking key (and persisted test fixture) valid.
-type ShardKey struct {
-	Object string // object identifier
-	Index  int    // shard index within the chunk's encoding
-	Chunk  int    // chunk ordinal within the object; 0 for unchunked
-}
-
-// Shard is the unit of storage: opaque bytes plus placement metadata.
-type Shard struct {
-	Key   ShardKey
-	Epoch int // the epoch this shard version was written
-	Data  []byte
-}
+// ShardKey and Shard are defined in internal/store (the at-rest storage
+// contract); the aliases keep every existing call site — and the
+// conceptual home of "a shard in the cluster" — in this package.
+type (
+	ShardKey = store.ShardKey
+	Shard    = store.Shard
+)
 
 // Node is one administratively independent storage provider.
 type Node struct {
@@ -62,10 +57,12 @@ type Node struct {
 	Region string
 	Online bool
 
-	mu     sync.Mutex
-	shards map[ShardKey]Shard
-	// staged holds shards written but not yet committed; see staging.go.
-	staged map[ShardKey]stagedShard
+	// st holds the node's bytes at rest; see internal/store.
+	st store.NodeStore
+
+	// mu serialises availability checks and fault draws on the node's
+	// data path (the store has its own locking underneath).
+	mu sync.Mutex
 	// faults and faultState drive fault injection; see fault.go.
 	faults     *NodeFaults
 	faultState uint64
@@ -87,10 +84,14 @@ func (n *Node) BytesOut() int64 { return n.bytesOut.Load() }
 // traffic counters are atomics: the data path touches only the node
 // being addressed (plus lock-free accounting), so operations against
 // distinct nodes never serialise on cluster-wide state — the property
-// the vault's striped locking relies on for concurrent staging.
+// the vault's striped locking relies on for concurrent staging. (The
+// disk backend serialises on its shared log underneath; the contract
+// here is still per-node.)
 type Cluster struct {
-	nodes []*Node
-	epoch atomic.Int64
+	nodes   []*Node
+	backend store.Store
+	name    string // backend name for reports: store.BackendMem/BackendDisk
+	epoch   atomic.Int64
 
 	// bytesMoved/puts/gets sum every shard transfer in either direction;
 	// read them through TotalBytesMoved/Puts/Gets.
@@ -116,24 +117,73 @@ func (c *Cluster) Gets() int { return int(c.gets.Load()) }
 // DefaultRegions is a plausible geo-dispersal for examples and tests.
 var DefaultRegions = []string{"us-east", "eu-west", "ap-south", "sa-east", "af-south", "au-sydney"}
 
-// New creates a cluster of n online nodes, assigning regions round-robin
-// from the provided list (DefaultRegions when nil).
+// New creates a memory-backed cluster of n online nodes, assigning
+// regions round-robin from the provided list (DefaultRegions when nil).
 func New(n int, regions []string) *Cluster {
+	return NewWithStore(memstore.New(n), regions)
+}
+
+// NewWithStore creates a cluster over an already-open backend, one node
+// per backend node.
+func NewWithStore(bk store.Store, regions []string) *Cluster {
 	if len(regions) == 0 {
 		regions = DefaultRegions
 	}
-	c := &Cluster{}
-	for i := 0; i < n; i++ {
+	c := &Cluster{backend: bk, name: store.BackendMem}
+	if _, ok := bk.(*diskstore.Store); ok {
+		c.name = store.BackendDisk
+	}
+	for i := 0; i < bk.Nodes(); i++ {
 		c.nodes = append(c.nodes, &Node{
 			ID:     i,
 			Region: regions[i%len(regions)],
 			Online: true,
-			shards: make(map[ShardKey]Shard),
+			st:     bk.Node(i),
 		})
 	}
-	c.metrics = newClusterMetrics(obs.Default(), n)
+	c.metrics = newClusterMetrics(obs.Default(), len(c.nodes))
 	return c
 }
+
+// OpenStore is the backend factory: it turns the flag-friendly
+// store.Config into a live store.Store for n nodes. It lives here — with
+// the implementations' importer — so the store package itself stays free
+// of disk machinery.
+func OpenStore(cfg store.Config, n int) (store.Store, error) {
+	switch cfg.Backend {
+	case "", store.BackendMem:
+		return memstore.New(n), nil
+	case store.BackendDisk:
+		if cfg.Dir == "" {
+			return nil, errors.New("cluster: disk backend needs a directory")
+		}
+		return diskstore.Open(cfg.Dir, n,
+			diskstore.WithFsync(cfg.Fsync),
+			diskstore.WithMaxSegmentBytes(cfg.MaxSegmentBytes))
+	default:
+		return nil, fmt.Errorf("cluster: unknown store backend %q", cfg.Backend)
+	}
+}
+
+// Open creates a cluster of n nodes over the backend cfg selects,
+// replaying the disk backend's WAL if it points at an existing archive.
+func Open(n int, regions []string, cfg store.Config) (*Cluster, error) {
+	bk, err := OpenStore(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithStore(bk, regions), nil
+}
+
+// Backend returns the backend name ("mem" or "disk") for reports.
+func (c *Cluster) Backend() string { return c.name }
+
+// Store exposes the underlying backend (tests reach crash injection and
+// recovery reports through a type assertion on this).
+func (c *Cluster) Store() store.Store { return c.backend }
+
+// Close releases the backend (file handles for disk; no-op for memory).
+func (c *Cluster) Close() error { return c.backend.Close() }
 
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
@@ -193,10 +243,11 @@ func (c *Cluster) put(nodeID int, key ShardKey, data []byte) error {
 	if err := c.injectFault(n, false, key); err != nil {
 		return err
 	}
-	cp := append([]byte(nil), data...)
+	if err := n.st.Put(Shard{Key: key, Epoch: c.Epoch(), Data: data}); err != nil {
+		return err
+	}
 	c.bytesMoved.Add(int64(len(data)))
 	c.puts.Add(1)
-	n.shards[key] = Shard{Key: key, Epoch: c.Epoch(), Data: cp}
 	n.bytesIn.Add(int64(len(data)))
 	return nil
 }
@@ -229,27 +280,47 @@ func (c *Cluster) get(nodeID int, key ShardKey) (Shard, error) {
 	if err := c.injectFault(n, true, key); err != nil {
 		return Shard{}, err
 	}
-	sh, ok := n.shards[key]
+	sh, ok, err := n.st.Get(key)
+	if err != nil {
+		return Shard{}, fmt.Errorf("cluster: node %d: %w", nodeID, err)
+	}
 	if !ok {
 		return Shard{}, fmt.Errorf("%w: node %d %v", ErrNoSuchShard, nodeID, key)
 	}
-	out := Shard{Key: sh.Key, Epoch: sh.Epoch, Data: append([]byte(nil), sh.Data...)}
 	n.bytesOut.Add(int64(len(sh.Data)))
 	c.bytesMoved.Add(int64(len(sh.Data)))
 	c.gets.Add(1)
-	return out, nil
+	return sh, nil
 }
 
-// Delete removes a shard from a node (no error if absent).
+// Delete removes a shard from a node — both the committed version and
+// any entry still parked in the staging area, so a deleted object can
+// never leak staged bytes or block a later re-Put of the same key with
+// ErrDuplicateKey. Absence is not an error. Like CommitStage, delete is
+// metadata-only with respect to the fault plan: no bytes move, so
+// neither transient faults nor offline windows apply (the disk backend
+// can still surface real I/O errors).
 func (c *Cluster) Delete(nodeID int, key ShardKey) error {
+	start := time.Now()
+	err := c.deleteShard(nodeID, key)
+	m := c.metrics
+	m.deleteNs.Observe(float64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		m.deleteErr.Inc()
+		return err
+	}
+	m.deleteOK.Inc()
+	return nil
+}
+
+func (c *Cluster) deleteShard(nodeID int, key ShardKey) error {
 	n, err := c.Node(nodeID)
 	if err != nil {
 		return err
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.shards, key)
-	return nil
+	return n.st.Delete(key)
 }
 
 // Snapshot returns copies of all shards currently stored on a node —
@@ -261,9 +332,9 @@ func (c *Cluster) Snapshot(nodeID int) ([]Shard, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]Shard, 0, len(n.shards))
-	for _, sh := range n.shards {
-		out = append(out, Shard{Key: sh.Key, Epoch: sh.Epoch, Data: append([]byte(nil), sh.Data...)})
+	out, err := n.st.Snapshot()
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Key.Object != out[j].Key.Object {
@@ -282,14 +353,7 @@ func (c *Cluster) Snapshot(nodeID int) ([]Shard, error) {
 func (c *Cluster) StoredBytes() int64 {
 	var total int64
 	for _, n := range c.nodes {
-		n.mu.Lock()
-		for _, sh := range n.shards {
-			total += int64(len(sh.Data))
-		}
-		for _, st := range n.staged {
-			total += int64(len(st.sh.Data))
-		}
-		n.mu.Unlock()
+		total += n.st.StoredBytes()
 	}
 	return total
 }
@@ -299,18 +363,7 @@ func (c *Cluster) StoredBytes() int64 {
 func (c *Cluster) ObjectBytes(object string) int64 {
 	var total int64
 	for _, n := range c.nodes {
-		n.mu.Lock()
-		for k, sh := range n.shards {
-			if k.Object == object {
-				total += int64(len(sh.Data))
-			}
-		}
-		for k, st := range n.staged {
-			if k.Object == object {
-				total += int64(len(st.sh.Data))
-			}
-		}
-		n.mu.Unlock()
+		total += n.st.ObjectBytes(object)
 	}
 	return total
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"securearchive/internal/obs"
 )
 
 func TestPutGetRoundTrip(t *testing.T) {
@@ -166,5 +168,69 @@ func TestRegions(t *testing.T) {
 	d := New(3, nil)
 	if len(d.Regions()) != 3 {
 		t.Fatalf("default regions = %v", d.Regions())
+	}
+}
+
+// TestDeleteClearsStaged is the regression test for the delete-path leak:
+// Delete used to remove only the committed shard, so an entry still
+// parked in the staging area survived — inflating StoredBytes and
+// StagedCount forever and blocking a later re-Put of the same id with
+// ErrDuplicateKey from the foreign stage.
+func TestDeleteClearsStaged(t *testing.T) {
+	c := New(1, nil)
+	key := ShardKey{Object: "o", Index: 0}
+	if err := c.Put(0, key, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	// A writer stages a rewrite, then the object is deleted mid-flight
+	// (the writer never commits — its stage token dies with it).
+	if err := c.PutStaged(0, "doomed-writer", key, []byte("staged")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(0, key); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.StagedCount(); n != 0 {
+		t.Fatalf("StagedCount after delete = %d, want 0", n)
+	}
+	if b := c.StoredBytes(); b != 0 {
+		t.Fatalf("StoredBytes after delete = %d, want 0", b)
+	}
+	// Re-archiving the same id must not hit ErrDuplicateKey.
+	if err := c.PutStaged(0, "fresh-writer", key, []byte("reborn")); err != nil {
+		t.Fatalf("re-put after delete: %v", err)
+	}
+	if n, err := c.CommitStage("fresh-writer"); err != nil || n != 1 {
+		t.Fatalf("commit after delete = %d, %v", n, err)
+	}
+	sh, err := c.Get(0, key)
+	if err != nil || !bytes.Equal(sh.Data, []byte("reborn")) {
+		t.Fatalf("re-put shard: %v %q", err, sh.Data)
+	}
+}
+
+// TestDeleteObservability pins Delete into the metrics surface: it gets
+// the same ok/err counters and latency histogram as every other
+// data-path operation.
+func TestDeleteObservability(t *testing.T) {
+	c := New(2, nil)
+	reg := obs.NewRegistry()
+	c.UseRegistry(reg)
+	key := ShardKey{Object: "o", Index: 0}
+	c.Put(0, key, []byte("x"))
+	if err := c.Delete(0, key); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(9, key); err == nil {
+		t.Fatal("delete on bogus node succeeded")
+	}
+	if got := reg.Counter("cluster.delete.ok").Load(); got != 1 {
+		t.Fatalf("cluster.delete.ok = %d, want 1", got)
+	}
+	if got := reg.Counter("cluster.delete.err").Load(); got != 1 {
+		t.Fatalf("cluster.delete.err = %d, want 1", got)
+	}
+	if got := reg.Histogram("cluster.delete.ns", obs.LatencyBuckets()).Count(); got != 2 {
+		t.Fatalf("cluster.delete.ns count = %d, want 2", got)
 	}
 }

@@ -15,8 +15,9 @@ import (
 // node's own draw sequence depends only on the operations that reach it).
 //
 // Faults apply to the data path only (Put, PutStaged, Get). CommitStage,
-// AbortStage and Delete are metadata operations and always succeed: the
-// bytes have already moved by the time they run.
+// AbortStage and Delete are metadata operations the plan never touches:
+// the bytes have already moved by the time they run (the disk backend
+// can still surface its own real I/O errors from them).
 
 // Window is a half-open epoch interval [From, To).
 type Window struct {
@@ -109,10 +110,11 @@ func (c *Cluster) injectFault(n *Node, read bool, key ShardKey) error {
 		return fmt.Errorf("%w: node %d", ErrTransient, n.ID)
 	}
 	if read && f.CorruptProb > 0 && n.roll() < f.CorruptProb {
-		if sh, ok := n.shards[key]; ok && len(sh.Data) > 0 {
-			bit := n.rollN(len(sh.Data) * 8)
-			sh.Data[bit/8] ^= 1 << (bit % 8)
-			n.shards[key] = sh
+		// The flip goes through the store's Corrupt so the damage lands in
+		// the bytes *at rest* (a map entry or a segment file) — persistent
+		// rot that a later read or scrub still sees, not a wire error.
+		if ln, ok := n.st.ShardLen(key); ok && ln > 0 {
+			n.st.Corrupt(key, n.rollN(ln*8))
 		}
 	}
 	return nil

@@ -127,7 +127,7 @@ func TestStagedCommitAndAbort(t *testing.T) {
 	if _, err := c.Get(0, key0); !errors.Is(err, ErrNoSuchShard) {
 		t.Fatalf("staged shard visible to Get: %v", err)
 	}
-	if n := c.CommitStage("s1"); n != 2 {
+	if n, _ := c.CommitStage("s1"); n != 2 {
 		t.Fatalf("committed %d, want 2", n)
 	}
 	sh, err := c.Get(0, key0)
@@ -143,7 +143,7 @@ func TestStagedCommitAndAbort(t *testing.T) {
 	if err := c.PutStaged(0, "s2", key0, []byte("cccccccc")); err != nil {
 		t.Fatal(err)
 	}
-	if n := c.AbortStage("s2"); n != 1 {
+	if n, _ := c.AbortStage("s2"); n != 1 {
 		t.Fatalf("aborted %d, want 1", n)
 	}
 	if c.StoredBytes() != base {

@@ -18,6 +18,7 @@ type clusterMetrics struct {
 	putOK, putErr       *obs.Counter
 	getOK, getErr       *obs.Counter
 	stagedOK, stagedErr *obs.Counter
+	deleteOK, deleteErr *obs.Counter
 	commits, aborts     *obs.Counter
 	bytesIn, bytesOut   *obs.Counter
 
@@ -29,7 +30,7 @@ type clusterMetrics struct {
 	short     *obs.Counter // stripe reads that ended below want
 	discardBy []*obs.Counter
 
-	putNs, getNs, fetchNs *obs.Histogram
+	putNs, getNs, deleteNs, fetchNs *obs.Histogram
 }
 
 func newClusterMetrics(reg *obs.Registry, nodes int) *clusterMetrics {
@@ -41,6 +42,8 @@ func newClusterMetrics(reg *obs.Registry, nodes int) *clusterMetrics {
 		getErr:    reg.Counter("cluster.get.err"),
 		stagedOK:  reg.Counter("cluster.staged.ok"),
 		stagedErr: reg.Counter("cluster.staged.err"),
+		deleteOK:  reg.Counter("cluster.delete.ok"),
+		deleteErr: reg.Counter("cluster.delete.err"),
 		commits:   reg.Counter("cluster.stage.commit"),
 		aborts:    reg.Counter("cluster.stage.abort"),
 		bytesIn:   reg.Counter("cluster.bytes.in"),
@@ -52,6 +55,7 @@ func newClusterMetrics(reg *obs.Registry, nodes int) *clusterMetrics {
 		short:     reg.Counter("cluster.fetch.short"),
 		putNs:     reg.Histogram("cluster.put.ns", obs.LatencyBuckets()),
 		getNs:     reg.Histogram("cluster.get.ns", obs.LatencyBuckets()),
+		deleteNs:  reg.Histogram("cluster.delete.ns", obs.LatencyBuckets()),
 		fetchNs:   reg.Histogram("cluster.fetch.ns", obs.LatencyBuckets()),
 	}
 	m.discardBy = make([]*obs.Counter, nodes)

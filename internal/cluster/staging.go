@@ -7,17 +7,12 @@ import (
 
 // Staged writes: the cluster-side half of the vault's stage-then-commit
 // protocol. A writer stages every shard of an object version under a
-// stage token, then either commits the whole set — an in-memory key swap
-// that cannot fail partway — or aborts, dropping the staged bytes. A
-// crashed or failed multi-shard write therefore never leaves committed
-// shards behind: the live shard set always holds exactly one encoding of
-// each object.
-
-// stagedShard is one shard parked in a node's staging area.
-type stagedShard struct {
-	stage string
-	sh    Shard
-}
+// stage token, then either commits the whole set or aborts, dropping the
+// staged bytes. Commit atomicity is the backend's contract (one key swap
+// under locks in memory; one fsynced WAL record on disk — see
+// internal/store), so a crashed or failed multi-shard write never leaves
+// a partial stripe behind: the live shard set always holds exactly one
+// encoding of each object.
 
 // PutStaged writes a shard into the node's staging area under the stage
 // token. It moves real bytes — the same fault plan, availability check
@@ -53,66 +48,47 @@ func (c *Cluster) putStaged(nodeID int, stage string, key ShardKey, data []byte)
 	if err := c.injectFault(n, false, key); err != nil {
 		return err
 	}
-	if prev, ok := n.staged[key]; ok && prev.stage != stage {
-		return fmt.Errorf("%w: node %d %v staged by %q", ErrDuplicateKey, nodeID, key, prev.stage)
+	if owner, ok := n.st.StagedOwner(key); ok && owner != stage {
+		return fmt.Errorf("%w: node %d %v staged by %q", ErrDuplicateKey, nodeID, key, owner)
 	}
-	cp := append([]byte(nil), data...)
+	if err := n.st.Stage(stage, Shard{Key: key, Epoch: c.Epoch(), Data: data}); err != nil {
+		return err
+	}
 	c.bytesMoved.Add(int64(len(data)))
 	c.puts.Add(1)
-	if n.staged == nil {
-		n.staged = make(map[ShardKey]stagedShard)
-	}
-	n.staged[key] = stagedShard{stage: stage, sh: Shard{Key: key, Epoch: c.Epoch(), Data: cp}}
 	n.bytesIn.Add(int64(len(data)))
 	return nil
 }
 
 // CommitStage atomically promotes every shard staged under the token
 // into the live shard set, across all nodes, replacing any previous
-// version of each key. Commit is metadata-only — the bytes already moved
-// at stage time — so it succeeds even for nodes that went offline after
-// staging, and no fault plan applies. Every shard in the stage is
-// stamped with the epoch current at commit time: a committed stripe is
-// never mixed-epoch, even when AdvanceEpoch races the staging writes.
-// Returns the number of shards committed.
-func (c *Cluster) CommitStage(stage string) int {
+// version of each key. Commit is metadata-only w.r.t. the fault plan —
+// the bytes already moved at stage time — so it succeeds even for nodes
+// that went offline after staging. Every shard in the stage is stamped
+// with the epoch current at commit time: a committed stripe is never
+// mixed-epoch, even when AdvanceEpoch races the staging writes. On the
+// disk backend the commit record's fsync is the commit point, and an
+// error (I/O failure, injected crash) means nothing was promoted —
+// recovery at the next Open decides from the WAL. Returns the number of
+// shards committed.
+func (c *Cluster) CommitStage(stage string) (int, error) {
 	c.metrics.commits.Inc()
-	epoch := c.Epoch()
-	committed := 0
-	for _, n := range c.nodes {
-		n.mu.Lock()
-		for key, st := range n.staged {
-			if st.stage != stage {
-				continue
-			}
-			st.sh.Epoch = epoch
-			n.shards[key] = st.sh
-			delete(n.staged, key)
-			committed++
-		}
-		n.mu.Unlock()
+	n, err := c.backend.CommitStage(stage, c.Epoch())
+	if err != nil {
+		return n, fmt.Errorf("cluster: commit stage %q: %w", stage, err)
 	}
-	return committed
+	return n, nil
 }
 
 // AbortStage drops every shard staged under the token, across all nodes.
-// Like CommitStage it is metadata-only and always succeeds. Returns the
-// number of shards dropped.
-func (c *Cluster) AbortStage(stage string) int {
+// Metadata-only, like CommitStage. Returns the number of shards dropped.
+func (c *Cluster) AbortStage(stage string) (int, error) {
 	c.metrics.aborts.Inc()
-	dropped := 0
-	for _, n := range c.nodes {
-		n.mu.Lock()
-		for key, st := range n.staged {
-			if st.stage != stage {
-				continue
-			}
-			delete(n.staged, key)
-			dropped++
-		}
-		n.mu.Unlock()
+	n, err := c.backend.AbortStage(stage)
+	if err != nil {
+		return n, fmt.Errorf("cluster: abort stage %q: %w", stage, err)
 	}
-	return dropped
+	return n, nil
 }
 
 // StagedCount returns the number of shards currently parked in staging
@@ -121,9 +97,7 @@ func (c *Cluster) AbortStage(stage string) int {
 func (c *Cluster) StagedCount() int {
 	total := 0
 	for _, n := range c.nodes {
-		n.mu.Lock()
-		total += len(n.staged)
-		n.mu.Unlock()
+		total += n.st.StagedCount()
 	}
 	return total
 }

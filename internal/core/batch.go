@@ -456,8 +456,9 @@ func (v *Vault) releaseBatchMember(id string, obj *vaultObject) {
 	if bs.live > 0 {
 		return
 	}
-	n, _ := v.Encoding.Shards()
-	for i := 0; i < n; i++ {
+	// The blob's digests record the stripe width it was actually written
+	// with; the vault's current encoding may have been reconfigured since.
+	for i := 0; i < len(bs.digests); i++ {
 		v.Cluster.Delete(i, cluster.ShardKey{Object: bs.id, Index: i})
 	}
 }
@@ -486,7 +487,12 @@ func (v *Vault) renewBatchMember(ctx context.Context, id string, obj *vaultObjec
 	bs.enc.ClientSecret = enc.ClientSecret
 	bs.enc.PublicMeta = enc.PublicMeta
 	bs.enc.PlainLen = enc.PlainLen
+	oldWidth := len(bs.digests)
 	bs.digests = ShardDigests(enc.Shards)
+	// A narrower re-encode leaves stale high-index shards behind; drop them.
+	for i := len(enc.Shards); i < oldWidth; i++ {
+		v.Cluster.Delete(i, cluster.ShardKey{Object: bs.id, Index: i})
+	}
 	return nil
 }
 

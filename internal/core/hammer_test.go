@@ -23,10 +23,31 @@ import (
 
 	"securearchive/internal/cluster"
 	"securearchive/internal/group"
+	"securearchive/internal/store"
 )
 
+// forEachBackend runs the test body against both storage backends: the
+// hammers and their invariant audits must hold identically whether the
+// shards live in maps or in fsync-backed segments behind a WAL.
+func forEachBackend(t *testing.T, nodes int, body func(t *testing.T, c *cluster.Cluster)) {
+	t.Run("mem", func(t *testing.T) {
+		body(t, cluster.New(nodes, nil))
+	})
+	t.Run("disk", func(t *testing.T) {
+		c, err := cluster.Open(nodes, nil, store.Config{Backend: store.BackendDisk, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		body(t, c)
+	})
+}
+
 func TestHammerOverlappingIDs(t *testing.T) {
-	c := cluster.New(8, nil)
+	forEachBackend(t, 8, hammerOverlappingIDs)
+}
+
+func hammerOverlappingIDs(t *testing.T, c *cluster.Cluster) {
 	c.SetFaultPlan(&cluster.FaultPlan{
 		Seed:    99,
 		Default: cluster.NodeFaults{TransientProb: 0.05},
@@ -175,7 +196,10 @@ func TestHammerOverlappingIDs(t *testing.T) {
 // invariants. This variant catches stripe-registry races between
 // *different* ids that hash into the same stripe.
 func TestHammerDistinctIDsWithDeletes(t *testing.T) {
-	c := cluster.New(8, nil)
+	forEachBackend(t, 8, hammerDistinctIDsWithDeletes)
+}
+
+func hammerDistinctIDsWithDeletes(t *testing.T, c *cluster.Cluster) {
 	enc := Erasure{K: 4, N: 8}
 	v, err := NewVault(c, enc, WithGroup(group.Test()))
 	if err != nil {

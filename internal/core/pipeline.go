@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"securearchive/internal/cluster"
 	"securearchive/internal/obs/trace"
 	"securearchive/internal/parallel"
 	"securearchive/internal/sig"
@@ -93,6 +94,7 @@ func (v *Vault) putChunked(ctx context.Context, id string, data []byte) error {
 	// secrets and digests live in chunks.
 	obj.enc = &Encoded{Scheme: metas[0].enc.Scheme, PlainLen: len(data)}
 	obj.chunks = metas
+	obj.width = len(metas[0].digests)
 	obj.chain = chain
 	obj.live.Store(true)
 	obj.mu.Unlock()
@@ -156,7 +158,13 @@ func (v *Vault) disperseChunked(ctx context.Context, id string, data []byte) ([]
 		psp.End(err)
 		return nil, err
 	}
-	n := v.Cluster.CommitStage(stage)
+	n, err := v.Cluster.CommitStage(stage)
+	if err != nil {
+		v.Cluster.AbortStage(stage)
+		psp.Event("stage.aborted")
+		psp.End(err)
+		return nil, fmt.Errorf("core: commit %s: %w", id, err)
+	}
 	observeRate(v.obsm.pipelineMBs, len(data), time.Since(start))
 	psp.Event("stage.committed", trace.Int("shards", n))
 	psp.End(nil)
@@ -305,9 +313,23 @@ func (v *Vault) scrubChunked(ctx context.Context, id string, obj *vaultObject) (
 			digests: ShardDigests(enc.Shards),
 		}
 	}
-	v.Cluster.CommitStage(stage)
+	if _, err := v.Cluster.CommitStage(stage); err != nil {
+		v.Cluster.AbortStage(stage)
+		return rep, fmt.Errorf("core: scrub %s: rewrite rolled back: %w", id, err)
+	}
 	for ci, cm := range newMetas {
 		obj.chunks[ci] = cm
+		// A partial rewrite can narrow only its own chunks; widen the
+		// recorded width if the repair encoding grew, and clear the strays
+		// its chunks no longer occupy.
+		w := len(cm.digests)
+		if w > obj.width {
+			obj.width = w
+		} else if w < obj.width {
+			for i := w; i < obj.width; i++ {
+				v.Cluster.Delete(i, cluster.ShardKey{Object: id, Index: i, Chunk: ci})
+			}
+		}
 	}
 	rep.Repaired = true
 	v.obsm.scrubRepairs.Inc()

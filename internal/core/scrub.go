@@ -192,6 +192,9 @@ func (v *Vault) scrubObject(ctx context.Context, id string, obj *vaultObject) (*
 	obj.enc.PublicMeta = enc.PublicMeta
 	obj.enc.PlainLen = enc.PlainLen
 	obj.digests = ShardDigests(enc.Shards)
+	oldWidth := obj.width
+	obj.width = len(enc.Shards)
+	v.cleanupStrayShards(id, oldWidth, 1, obj.width, 1)
 	rep.Repaired = true
 	v.obsm.scrubRepairs.Inc()
 	sp := trace.FromContext(ctx)

@@ -116,6 +116,13 @@ type vaultObject struct {
 
 	enc   *Encoded
 	chain *tstamp.Chain
+	// width is the stripe width actually written — how many shard indexes
+	// this object's live stripes occupy on the cluster, recorded at Put
+	// and updated on renewal/scrub rewrites. Delete must remove exactly
+	// these keys: the vault's Encoding is a mutable field, so recomputing
+	// the width from the *current* encoding at delete time would strand
+	// shards whenever the configuration changed between write and delete.
+	width int
 	// digests are per-shard SHA-256 digests of the current encoding,
 	// kept client-side: degraded reads use them to discard rotted shards
 	// and probe further nodes, and Scrub uses them to localise damage.
@@ -339,6 +346,7 @@ func (v *Vault) put(ctx context.Context, id string, data []byte) error {
 	}
 	obj.chain = chain
 	obj.digests = ShardDigests(enc.Shards)
+	obj.width = len(enc.Shards)
 	obj.live.Store(true)
 	obj.mu.Unlock()
 	return nil
@@ -361,10 +369,35 @@ func (v *Vault) disperse(ctx context.Context, id string, enc *Encoded) error {
 		ssp.End(err)
 		return err
 	}
-	n := v.Cluster.CommitStage(stage)
+	n, err := v.Cluster.CommitStage(stage)
+	if err != nil {
+		// The commit did not land (I/O failure, crash). Best-effort abort
+		// releases whatever the backend still holds parked; on a crashed
+		// disk store recovery discards the orphaned stage at the next Open.
+		v.Cluster.AbortStage(stage)
+		ssp.Event("stage.aborted")
+		ssp.End(err)
+		return fmt.Errorf("core: commit %s: %w", id, err)
+	}
 	ssp.Event("stage.committed", trace.Int("shards", n))
 	ssp.End(nil)
 	return nil
+}
+
+// cleanupStrayShards removes shards a rewrite left behind when it
+// narrowed the stripe (the encoding was reconfigured between writes) or
+// shortened the chunk list. Old keys beyond the new shape are deleted;
+// absent keys are no-ops, so over-approximating is safe.
+func (v *Vault) cleanupStrayShards(id string, oldWidth, oldChunks, newWidth, newChunks int) {
+	for ci := 0; ci < oldChunks; ci++ {
+		lo := 0
+		if ci < newChunks {
+			lo = newWidth
+		}
+		for i := lo; i < oldWidth; i++ {
+			v.Cluster.Delete(i, cluster.ShardKey{Object: id, Index: i, Chunk: ci})
+		}
+	}
 }
 
 // newStageToken mints a stage token unique across concurrent dispersals.
@@ -592,7 +625,10 @@ func (v *Vault) renewShares(ctx context.Context, id string) error {
 		if err != nil {
 			return fmt.Errorf("core: renewal of %s rolled back: %w", id, err)
 		}
+		oldWidth, oldChunks := obj.width, len(obj.chunks)
 		obj.chunks = metas
+		obj.width = len(metas[0].digests)
+		v.cleanupStrayShards(id, oldWidth, oldChunks, obj.width, len(metas))
 		return nil
 	}
 	_, esp := trace.Child(ctx, "vault.encode", trace.Int("bytes", len(data)))
@@ -608,6 +644,9 @@ func (v *Vault) renewShares(ctx context.Context, id string) error {
 	obj.enc.PublicMeta = enc.PublicMeta
 	obj.enc.PlainLen = enc.PlainLen
 	obj.digests = ShardDigests(enc.Shards)
+	oldWidth := obj.width
+	obj.width = len(enc.Shards)
+	v.cleanupStrayShards(id, oldWidth, 1, obj.width, 1)
 	return nil
 }
 
@@ -646,7 +685,14 @@ func (v *Vault) deleteObject(ctx context.Context, id string) error {
 	if obj.batch != nil {
 		v.releaseBatchMember(id, obj)
 	} else {
-		n, _ := v.Encoding.Shards()
+		// Delete the stripe actually written (obj.width), not whatever the
+		// vault's current encoding would produce — the two diverge when
+		// Encoding is reconfigured after the Put, and the wider stale value
+		// would be strand-free only by luck.
+		n := obj.width
+		if n == 0 {
+			n, _ = v.Encoding.Shards() // pre-width entry (defensive)
+		}
 		chunks := len(obj.chunks)
 		if chunks == 0 {
 			chunks = 1

@@ -261,7 +261,9 @@ func bytesEqual(a, b []byte) bool {
 // SweepWorkers runs Saturate at each worker count over a fresh vault
 // built by mk (a fresh cluster+vault+registry per cell keeps cells
 // independent: no cross-W cache warmth or leftover objects). mk also
-// installs any fault plan.
+// installs any fault plan. Each cell's cluster is closed once its run
+// finishes — a no-op in memory, but the disk backend holds a WAL and
+// segment file handles that must be released between cells.
 func SweepWorkers(workerCounts []int, cfg SaturationConfig, mk func() (*core.Vault, *obs.Registry, error)) ([]*SaturationResult, error) {
 	var out []*SaturationResult
 	for _, w := range workerCounts {
@@ -272,6 +274,7 @@ func SweepWorkers(workerCounts []int, cfg SaturationConfig, mk func() (*core.Vau
 		c := cfg
 		c.Workers = w
 		res, err := Saturate(v, reg, c)
+		v.Cluster.Close()
 		if err != nil {
 			return nil, err
 		}
