@@ -32,6 +32,11 @@
 // fsynced). With -saturate-disk the report additionally gains a disk
 // section — the same encoding swept against both backends so the fsync
 // penalty is measured honestly rather than inferred.
+//
+// -saturate-net adds a network section: the same closed-loop driver
+// pointed at a live archive service (internal/api) over loopback HTTP,
+// with streaming uploads and downloads crossing the wire — the full
+// service-stack tax measured against the in-process curves.
 package main
 
 import (
@@ -69,11 +74,12 @@ func main() {
 	satSmall := flag.Bool("saturate-small", false, "run the 4 KiB batched-vs-unbatched small-object sweep (small_object section of -saturate-out)")
 	satStore := flag.String("saturate-store", "mem", "storage backend for the -saturate sweeps (mem|disk)")
 	satDisk := flag.Bool("saturate-disk", false, "run the fsync-backed mem-vs-disk sweep (disk section of -saturate-out)")
+	satNet := flag.Bool("saturate-net", false, "run the loopback HTTP service sweep (network section of -saturate-out)")
 	all := flag.Bool("all", false, "run everything")
 	objKiB := flag.Int("obj", 256, "object size in KiB for measurements")
 	flag.Parse()
 
-	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench && !*saturate && !*satSmall && !*satDisk {
+	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench && !*saturate && !*satSmall && !*satDisk && !*satNet {
 		*all = true
 	}
 	ran := false
@@ -105,8 +111,8 @@ func main() {
 		runObs(*obsOut, *objKiB)
 		ran = true
 	}
-	if *saturate || *satSmall || *satDisk {
-		runSaturate(*satOut, *satEnc, *satStore, *satFaults, *satOps, *satObjKiB, *saturate, *satSmall, *satDisk)
+	if *saturate || *satSmall || *satDisk || *satNet {
+		runSaturate(*satOut, *satEnc, *satStore, *satFaults, *satOps, *satObjKiB, *saturate, *satSmall, *satDisk, *satNet)
 		ran = true
 	}
 	if !ran {

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
 
+	"securearchive/internal/api"
 	"securearchive/internal/cluster"
 	"securearchive/internal/core"
 	"securearchive/internal/group"
@@ -46,6 +50,29 @@ type saturateReport struct {
 	// Disk is the fsync-backed mem-vs-disk sweep written by
 	// -saturate-disk.
 	Disk *diskSection `json:"disk,omitempty"`
+	// Network is the loopback HTTP service sweep written by
+	// -saturate-net.
+	Network *networkSection `json:"network,omitempty"`
+}
+
+// networkSection is the -saturate-net result: the closed-loop driver
+// pointed at a live archive service (internal/api) over loopback HTTP
+// instead of at the vault directly, one fresh server per cell. The
+// runs price the full service stack — routing, tenant admission,
+// streaming body transfer, JSON envelopes — against the in-process
+// curves in Encodings, and StreamPeakBytes in each run is the server's
+// high-water streaming buffer: it must stay O(workers × chunk) no
+// matter how many bytes crossed the wire.
+type networkSection struct {
+	Encoding    string                    `json:"encoding"`
+	ObjectBytes int                       `json:"object_bytes"`
+	TotalOps    int                       `json:"total_ops"`
+	Transport   string                    `json:"transport"`
+	ChunkBytes  int                       `json:"chunk_bytes"`
+	Mix         workload.OpMix            `json:"mix"`
+	Runs        []*workload.NetworkResult `json:"runs"`
+	// ScalingX16v1 is ops/s at W=16 over W=1 through the service.
+	ScalingX16v1 float64 `json:"scaling_x_16_vs_1"`
 }
 
 // diskSection is the -saturate-disk result: one representative encoding
@@ -132,7 +159,7 @@ func openBenchCluster(backend, root string, n int) (*cluster.Cluster, error) {
 // main per-encoding sweep; withSmall appends the batched-vs-unbatched
 // 4 KiB small-object sweep; withDisk appends the fsync-backed
 // mem-vs-disk comparison.
-func runSaturate(outPath, encFilter, storeBackend string, withFaults bool, totalOps, objKiB int, withMain, withSmall, withDisk bool) {
+func runSaturate(outPath, encFilter, storeBackend string, withFaults bool, totalOps, objKiB int, withMain, withSmall, withDisk, withNet bool) {
 	if storeBackend == "" {
 		storeBackend = store.BackendMem
 	}
@@ -247,6 +274,10 @@ func runSaturate(outPath, encFilter, storeBackend string, withFaults bool, total
 
 	if withDisk {
 		rep.Disk = runDiskSweep(root, totalOps, objBytes)
+	}
+
+	if withNet {
+		rep.Network = runNetSweep(totalOps, objBytes)
 	}
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -399,5 +430,83 @@ func runDiskSweep(root string, totalOps, objBytes int) *diskSection {
 		sec.DiskX16 = disk / mem
 	}
 	fmt.Printf("disk/mem at W=16: %.2fx (fsync=%s)\n", sec.DiskX16, sec.Fsync)
+	return sec
+}
+
+// netChunkBytes is the vault chunk size the networked sweep runs with:
+// small enough that every 16 KiB object streams through the chunked
+// pipeline as several chunks, so the sweep exercises (and its
+// stream_peak_bytes evidences) the memory-bounded transfer path rather
+// than the monolithic fallback.
+const netChunkBytes = 4 << 10
+
+// runNetSweep measures the service tax: the closed-loop driver issuing
+// every operation through the archive service's HTTP API over loopback
+// — streaming uploads into the chunked pipeline, streaming downloads
+// out of it, JSON control responses — with one fresh in-memory server
+// per cell. Reads the same deterministic payloads the in-process
+// sweeps use, so wire corruption would surface as errors.
+func runNetSweep(totalOps, objBytes int) *networkSection {
+	fmt.Println("=== networked sweep (loopback HTTP service) ===")
+	enc := core.Erasure{K: 4, N: 8}
+	sec := &networkSection{
+		Encoding:    enc.Name(),
+		ObjectBytes: objBytes,
+		TotalOps:    totalOps,
+		Transport:   "http/loopback",
+		ChunkBytes:  netChunkBytes,
+		Mix:         workload.DefaultMix(),
+	}
+	mk := func() (*workload.NetworkCell, error) {
+		reg := obs.NewRegistry()
+		c := cluster.New(8, nil)
+		c.UseRegistry(reg)
+		v, err := core.NewVault(c, enc,
+			core.WithGroup(group.Test()), core.WithRegistry(reg),
+			core.WithChunkSize(netChunkBytes))
+		if err != nil {
+			return nil, err
+		}
+		svc := api.NewServer(v, api.Config{Registry: reg})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go srv.Serve(ln)
+		return &workload.NetworkCell{
+			BaseURL:    "http://" + ln.Addr().String(),
+			Registry:   reg,
+			StreamPeak: v.StreamPeakBuffered,
+			Shutdown: func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+				c.Close()
+			},
+		}, nil
+	}
+	cfg := workload.NetworkConfig{
+		TotalOps:    totalOps,
+		ObjectBytes: objBytes,
+		Preload:     6,
+		Mix:         sec.Mix,
+		Seed:        1,
+	}
+	runs, err := workload.SweepNetworkWorkers(saturateWorkers, cfg, mk)
+	if err != nil {
+		fatal(err)
+	}
+	sec.Runs = runs
+	sec.ScalingX16v1 = workload.NetScalingX(runs, 1, 16)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "W\tops/s\tput p99 (µs)\tget p99 (µs)\tstream peak (KiB)\terrs\n")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
+			r.Workers, r.OpsPerSec, r.PutLatency.P99Ns/1e3, r.GetLatency.P99Ns/1e3,
+			r.StreamPeakBytes>>10, r.Errors)
+	}
+	w.Flush()
+	fmt.Printf("network scaling at W=16 over W=1: %.2fx\n", sec.ScalingX16v1)
 	return sec
 }

@@ -1,0 +1,321 @@
+// Package client is the Go client for the archive service
+// (securearchive/internal/api): streaming uploads and downloads,
+// tenant header plumbing, typed *api.Error results, and bounded
+// retries that honour 429 Retry-After backpressure.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"securearchive/internal/api"
+)
+
+// Client talks to one archive service endpoint on behalf of one
+// tenant. The zero value is not usable; construct with New.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenant is sent as the X-Archive-Tenant header ("" uses the
+	// server default).
+	Tenant string
+	// HTTPClient performs the requests (http.DefaultClient when nil).
+	HTTPClient *http.Client
+	// Retry429 is how many times a rate-limited request is retried
+	// after honouring Retry-After. Only requests whose body can be
+	// replayed (none, or seekable) retry; a one-shot streaming PUT
+	// surfaces the 429 instead.
+	Retry429 int
+	// MaxRetryAfter caps a single Retry-After wait (default 5s) so a
+	// hostile or confused server cannot park the client forever.
+	MaxRetryAfter time.Duration
+}
+
+// New builds a client for the service at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Retry429: 3}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) objectURL(id string) string {
+	return c.BaseURL + "/v1/objects/" + url.PathEscape(id)
+}
+
+// do issues the request, retrying 429s (when the body is replayable)
+// after the server's Retry-After, and converts any non-2xx response
+// into *api.Error. Callers own the returned body.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	if c.Tenant != "" {
+		req.Header.Set(api.TenantHeader, c.Tenant)
+	}
+	attempts := c.Retry429
+	for {
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode < 300 {
+			return resp, nil
+		}
+		apiErr := decodeError(resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests || attempts <= 0 || req.GetBody == nil && req.Body != nil {
+			return nil, apiErr
+		}
+		attempts--
+		wait := retryAfter(resp)
+		if max := c.maxRetryAfter(); wait > max {
+			wait = max
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, fmt.Errorf("client: retry aborted: %w", context.Cause(req.Context()))
+		}
+		if req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, fmt.Errorf("client: replay body: %w", err)
+			}
+			req.Body = body
+		}
+	}
+}
+
+func (c *Client) maxRetryAfter() time.Duration {
+	if c.MaxRetryAfter > 0 {
+		return c.MaxRetryAfter
+	}
+	return 5 * time.Second
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 250 * time.Millisecond
+}
+
+// decodeError turns a non-2xx response into *api.Error, falling back
+// to the status text when the body is not the service's envelope.
+func decodeError(resp *http.Response) error {
+	e := &api.Error{Status: resp.StatusCode, Code: "http_error", Message: resp.Status}
+	var body struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&body); err == nil && body.Code != "" {
+		e.Code, e.Message = body.Code, body.Message
+	}
+	return e
+}
+
+func drainJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Put streams body into the archive under id and returns the byte
+// count the server ingested. The body is read exactly once, so a 429
+// is returned rather than retried; use PutBytes for automatic retry.
+func (c *Client) Put(ctx context.Context, id string, body io.Reader) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objectURL(id), body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return 0, err
+	}
+	var pr api.PutResult
+	if err := drainJSON(resp, &pr); err != nil {
+		return 0, fmt.Errorf("client: decode put result: %w", err)
+	}
+	return pr.Bytes, nil
+}
+
+// PutBytes is Put from a byte slice; the replayable body makes 429
+// retries safe.
+func (c *Client) PutBytes(ctx context.Context, id string, data []byte) (int64, error) {
+	return c.Put(ctx, id, bytes.NewReader(data))
+}
+
+// Get opens a streaming download. The caller must Close the returned
+// body; Length is the object's plaintext size from the stat headers. A
+// body that ends short of Length means the server's integrity pipeline
+// failed mid-stream — treat the bytes as invalid.
+func (c *Client) Get(ctx context.Context, id string) (io.ReadCloser, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.objectURL(id), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Body, resp.ContentLength, nil
+}
+
+// GetBytes downloads the whole object, verifying the received length
+// against the announced one.
+func (c *Client) GetBytes(ctx context.Context, id string) ([]byte, error) {
+	body, length, err := c.Get(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	if length >= 0 && int64(len(data)) != length {
+		return nil, fmt.Errorf("client: get %s: short body: %d of %d bytes (server-side failure mid-stream)",
+			id, len(data), length)
+	}
+	return data, nil
+}
+
+// GetTo streams the object into w and returns the bytes written.
+func (c *Client) GetTo(ctx context.Context, id string, w io.Writer) (int64, error) {
+	body, length, err := c.Get(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	defer body.Close()
+	n, err := io.Copy(w, body)
+	if err != nil {
+		return n, err
+	}
+	if length >= 0 && n != length {
+		return n, fmt.Errorf("client: get %s: short body: %d of %d bytes", id, n, length)
+	}
+	return n, nil
+}
+
+// Stat fetches object metadata without the body.
+func (c *Client) Stat(ctx context.Context, id string) (*api.StatResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.objectURL(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	atoi := func(s string) int { n, _ := strconv.Atoi(s); return n }
+	return &api.StatResult{
+		ID:       id,
+		Bytes:    resp.ContentLength,
+		Scheme:   resp.Header.Get("X-Archive-Scheme"),
+		Chunks:   atoi(resp.Header.Get("X-Archive-Chunks")),
+		Width:    atoi(resp.Header.Get("X-Archive-Width")),
+		ChainLen: atoi(resp.Header.Get("X-Archive-Chain-Len")),
+	}, nil
+}
+
+// Delete removes the object.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.objectURL(id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Scrub audits (and repairs if needed) the object's stripes.
+func (c *Client) Scrub(ctx context.Context, id string) (*api.ScrubResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/scrub/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var sr api.ScrubResult
+	if err := drainJSON(resp, &sr); err != nil {
+		return nil, fmt.Errorf("client: decode scrub result: %w", err)
+	}
+	return &sr, nil
+}
+
+// Renew refreshes the object: mode "shares" re-encodes and rewrites
+// the stripes, mode "integrity" appends a chain link under scheme
+// (server default when empty).
+func (c *Client) Renew(ctx context.Context, id, mode, scheme string) (*api.RenewResult, error) {
+	u := c.BaseURL + "/v1/renew/" + url.PathEscape(id) + "?mode=" + url.QueryEscape(mode)
+	if scheme != "" {
+		u += "&scheme=" + url.QueryEscape(scheme)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var rr api.RenewResult
+	if err := drainJSON(resp, &rr); err != nil {
+		return nil, fmt.Errorf("client: decode renew result: %w", err)
+	}
+	return &rr, nil
+}
+
+// List returns the tenant's object ids (sorted).
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/objects", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var lr api.ListResult
+	if err := drainJSON(resp, &lr); err != nil {
+		return nil, fmt.Errorf("client: decode list result: %w", err)
+	}
+	return lr.Objects, nil
+}
+
+// Usage reports the tenant's quota consumption.
+func (c *Client) Usage(ctx context.Context) (*api.UsageResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/usage", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var ur api.UsageResult
+	if err := drainJSON(resp, &ur); err != nil {
+		return nil, fmt.Errorf("client: decode usage result: %w", err)
+	}
+	return &ur, nil
+}

@@ -1,0 +1,50 @@
+package api
+
+import (
+	"securearchive/internal/obs"
+)
+
+// apiOps enumerates the instrumented endpoints; metrics are
+// pre-resolved per op so the request path pays only atomic updates.
+var apiOps = []string{"put", "get", "stat", "delete", "scrub", "renew", "list", "usage"}
+
+// opMetrics is one endpoint's instrument set: request and error
+// counters plus a latency histogram (api.<op>.ns).
+type opMetrics struct {
+	reqs  *obs.Counter
+	errs  *obs.Counter
+	latNs *obs.Histogram
+}
+
+// metrics is the service-wide instrument set.
+type metrics struct {
+	ops map[string]*opMetrics
+	// inFlight counts requests currently being served (all endpoints).
+	inFlight *obs.Gauge
+	// rateLimited counts 429s; quotaDenied counts 413/507s.
+	rateLimited *obs.Counter
+	quotaDenied *obs.Counter
+	// bytesIn/bytesOut are plaintext payload bytes streamed through
+	// PUT and GET bodies.
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		ops:         make(map[string]*opMetrics, len(apiOps)),
+		inFlight:    reg.Gauge("api.inflight"),
+		rateLimited: reg.Counter("api.rate_limited"),
+		quotaDenied: reg.Counter("api.quota_denied"),
+		bytesIn:     reg.Counter("api.bytes_in"),
+		bytesOut:    reg.Counter("api.bytes_out"),
+	}
+	for _, op := range apiOps {
+		m.ops[op] = &opMetrics{
+			reqs:  reg.Counter("api." + op + ".requests"),
+			errs:  reg.Counter("api." + op + ".errors"),
+			latNs: reg.Histogram("api."+op+".ns", obs.LatencyBuckets()),
+		}
+	}
+	return m
+}

@@ -1,0 +1,85 @@
+package api
+
+import (
+	"sync"
+	"time"
+)
+
+// Token-bucket rate limiting, hand-rolled on the stdlib (the module
+// deliberately has no external dependencies). One bucket per tenant:
+// requests each take one token, tokens refill continuously at
+// OpsPerSec up to Burst. An empty bucket answers with how long until
+// the next token — the handler turns that into 429 + Retry-After, the
+// backpressure signal the client's retry loop honours.
+
+// RateConfig shapes the per-tenant token bucket. Zero OpsPerSec
+// disables limiting.
+type RateConfig struct {
+	// OpsPerSec is the sustained refill rate.
+	OpsPerSec float64
+	// Burst is the bucket capacity (defaults to max(1, OpsPerSec)).
+	Burst float64
+}
+
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// take attempts to spend one token, refilling first. On refusal it
+// returns the wait until a full token accrues.
+func (b *bucket) take(rate, burst float64, now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.tokens = burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// limiterTable holds one bucket per tenant.
+type limiterTable struct {
+	cfg     RateConfig
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func newLimiterTable(cfg RateConfig) *limiterTable {
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.OpsPerSec
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	return &limiterTable{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// allow spends a token for tenant, or reports the Retry-After wait.
+func (l *limiterTable) allow(tenant string, now time.Time) (bool, time.Duration) {
+	if l == nil || l.cfg.OpsPerSec <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{}
+		l.buckets[tenant] = b
+	}
+	l.mu.Unlock()
+	return b.take(l.cfg.OpsPerSec, l.cfg.Burst, now)
+}

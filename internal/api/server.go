@@ -1,0 +1,385 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"securearchive/internal/cluster"
+	"securearchive/internal/core"
+	"securearchive/internal/monitor"
+	"securearchive/internal/obs"
+	"securearchive/internal/sig"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// DefaultQuota applies to tenants without an entry in Quotas.
+	// The zero Quota is unlimited.
+	DefaultQuota Quota
+	// Quotas overrides budgets per tenant name.
+	Quotas map[string]Quota
+	// Rate is the per-tenant token bucket; zero disables limiting.
+	Rate RateConfig
+	// Registry receives the api.* instruments (obs.Default() when nil).
+	Registry *obs.Registry
+	// Monitor, when set, is mounted on the same handler: /metrics,
+	// /snapshot, /traces, /healthz and /debug/pprof ride alongside the
+	// /v1 archive routes so one listener serves both planes.
+	Monitor *monitor.Server
+}
+
+// Server serves a Vault over HTTP. Routes:
+//
+//	PUT    /v1/objects/{id...}         streaming upload
+//	GET    /v1/objects/{id...}         streaming download
+//	HEAD   /v1/objects/{id...}         metadata only
+//	DELETE /v1/objects/{id...}
+//	POST   /v1/scrub/{id...}           audit + repair one object
+//	POST   /v1/renew/{id...}?mode=shares|integrity[&scheme=...]
+//	GET    /v1/objects                 list tenant's objects
+//	GET    /v1/usage                   tenant quota consumption
+//
+// Every request is namespaced by the X-Archive-Tenant header (default
+// "default"): object ids are stored as "<tenant>/<id>", so tenants
+// cannot see or collide with each other's objects. Handlers run on the
+// request context — a client that disconnects mid-transfer cancels the
+// vault operation, which aborts staged writes and in-flight retry
+// backoffs (see internal/cluster's RetryTransientCtx).
+type Server struct {
+	vault   *core.Vault
+	quotas  *quotaTable
+	limiter *limiterTable
+	mon     *monitor.Server
+	m       *metrics
+}
+
+// NewServer builds a Server over v.
+func NewServer(v *core.Vault, cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Server{
+		vault:   v,
+		quotas:  newQuotaTable(cfg.DefaultQuota, cfg.Quotas),
+		limiter: newLimiterTable(cfg.Rate),
+		mon:     cfg.Monitor,
+		m:       newMetrics(reg),
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/objects/{id...}", s.route("put", s.handlePut))
+	mux.HandleFunc("GET /v1/objects/{id...}", s.route("get", s.handleGet))
+	mux.HandleFunc("HEAD /v1/objects/{id...}", s.route("stat", s.handleStat))
+	mux.HandleFunc("DELETE /v1/objects/{id...}", s.route("delete", s.handleDelete))
+	mux.HandleFunc("POST /v1/scrub/{id...}", s.route("scrub", s.handleScrub))
+	mux.HandleFunc("POST /v1/renew/{id...}", s.route("renew", s.handleRenew))
+	mux.HandleFunc("GET /v1/objects", s.route("list", s.handleList))
+	mux.HandleFunc("GET /v1/usage", s.route("usage", s.handleUsage))
+	if s.mon != nil {
+		mux.Handle("/", s.mon.Handler())
+	}
+	return mux
+}
+
+// statusWriter tracks whether the handler already committed a status
+// (or streamed body bytes), after which the error path can only drop
+// the connection — it must not write a second status line.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// route wraps a handler with the service plumbing: tenant resolution,
+// token-bucket admission (429 + Retry-After on refusal), in-flight and
+// latency instrumentation, and error-to-status mapping.
+func (s *Server) route(op string, h func(w *statusWriter, r *http.Request, tenant string) error) http.HandlerFunc {
+	om := s.m.ops[op]
+	return func(w http.ResponseWriter, r *http.Request) {
+		om.reqs.Inc()
+		tenant := r.Header.Get(TenantHeader)
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		if !validTenant(tenant) {
+			om.errs.Inc()
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("invalid tenant %q", tenant))
+			return
+		}
+		if ok, wait := s.limiter.allow(tenant, time.Now()); !ok {
+			s.m.rateLimited.Inc()
+			om.errs.Inc()
+			secs := int(wait/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, CodeRateLimited,
+				fmt.Sprintf("tenant %q rate limited, retry in %v", tenant, wait.Round(time.Millisecond)))
+			return
+		}
+		s.m.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		err := h(sw, r, tenant)
+		om.latNs.Observe(float64(time.Since(start).Nanoseconds()))
+		s.m.inFlight.Add(-1)
+		if err != nil {
+			om.errs.Inc()
+			code, machine := errorStatus(err)
+			if code == http.StatusRequestEntityTooLarge || code == http.StatusInsufficientStorage {
+				s.m.quotaDenied.Inc()
+			}
+			if !sw.wrote {
+				writeError(w, code, machine, err.Error())
+			}
+			// Headers already sent (streaming GET failed mid-body): the
+			// short body against the announced Content-Length is the
+			// client's corruption signal; nothing more we can say here.
+		}
+	}
+}
+
+// errorStatus maps service/vault errors onto HTTP statuses and stable
+// machine codes.
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		return http.StatusNotFound, CodeNotFound
+	case errors.Is(err, core.ErrExists):
+		return http.StatusConflict, CodeExists
+	case errors.Is(err, ErrQuotaBytes):
+		return http.StatusRequestEntityTooLarge, CodeQuotaBytes
+	case errors.Is(err, ErrQuotaObjects):
+		return http.StatusInsufficientStorage, CodeQuotaObjects
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, cluster.ErrRetryAborted):
+		// The client went away; 499-style. The status rarely reaches
+		// anyone, but the access log distinction matters.
+		return http.StatusRequestTimeout, CodeCanceled
+	case errors.Is(err, core.ErrDegraded):
+		return http.StatusServiceUnavailable, CodeDegraded
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest, CodeBadRequest
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// errBadRequest marks caller mistakes (bad id, unknown mode/scheme).
+var errBadRequest = errors.New("api: bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Code: code, Message: msg})
+}
+
+func writeJSON(w *statusWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+// objectID validates the path id and returns the tenant-namespaced
+// storage key.
+func objectID(r *http.Request, tenant string) (string, error) {
+	id := r.PathValue("id")
+	if id == "" {
+		return "", badRequestf("empty object id")
+	}
+	if strings.Contains(id, "//") || strings.HasPrefix(id, "/") || strings.HasSuffix(id, "/") {
+		return "", badRequestf("malformed object id %q", id)
+	}
+	for _, seg := range strings.Split(id, "/") {
+		if seg == "." || seg == ".." {
+			return "", badRequestf("malformed object id %q", id)
+		}
+	}
+	return tenant + "/" + id, nil
+}
+
+func (s *Server) handlePut(w *statusWriter, r *http.Request, tenant string) error {
+	key, err := objectID(r, tenant)
+	if err != nil {
+		return err
+	}
+	if err := s.quotas.admitObject(tenant); err != nil {
+		return err
+	}
+	q := s.quotas.quota(tenant)
+	u := s.quotas.usage(tenant)
+	if q.MaxBytes > 0 && r.ContentLength > 0 &&
+		u.bytes.Load()+u.inflight.Load()+r.ContentLength > q.MaxBytes {
+		// Fail before ingesting anything when the announced length
+		// already breaks the budget; chunked uploads are caught by the
+		// streaming reader below instead.
+		return fmt.Errorf("%w: tenant %q over %d bytes", ErrQuotaBytes, tenant, q.MaxBytes)
+	}
+	qr := &quotaReader{r: r.Body, u: u, max: q.MaxBytes, tenant: tenant}
+	n, err := s.vault.PutReader(r.Context(), key, qr)
+	qr.settle(err == nil)
+	if err != nil {
+		return err
+	}
+	s.m.bytesIn.Add(n)
+	return writeJSON(w, http.StatusCreated, PutResult{ID: strings.TrimPrefix(key, tenant+"/"), Bytes: n})
+}
+
+func (s *Server) handleGet(w *statusWriter, r *http.Request, tenant string) error {
+	key, err := objectID(r, tenant)
+	if err != nil {
+		return err
+	}
+	info, err := s.vault.Stat(key)
+	if err != nil {
+		return err
+	}
+	setStatHeaders(w, info)
+	w.WriteHeader(http.StatusOK)
+	n, err := s.vault.ReadTo(r.Context(), key, w)
+	s.m.bytesOut.Add(n)
+	if err != nil {
+		return fmt.Errorf("api: stream %s: %w", key, err)
+	}
+	return nil
+}
+
+func (s *Server) handleStat(w *statusWriter, r *http.Request, tenant string) error {
+	key, err := objectID(r, tenant)
+	if err != nil {
+		return err
+	}
+	info, err := s.vault.Stat(key)
+	if err != nil {
+		return err
+	}
+	setStatHeaders(w, info)
+	w.WriteHeader(http.StatusOK)
+	return nil
+}
+
+// setStatHeaders carries object metadata on GET/HEAD responses; the
+// client's Stat reads these without a body.
+func setStatHeaders(w *statusWriter, info *core.ObjectInfo) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.FormatInt(info.PlainLen, 10))
+	h.Set("X-Archive-Scheme", info.Scheme)
+	h.Set("X-Archive-Chunks", strconv.Itoa(info.Chunks))
+	h.Set("X-Archive-Width", strconv.Itoa(info.Width))
+	h.Set("X-Archive-Chain-Len", strconv.Itoa(info.ChainLen))
+}
+
+func (s *Server) handleDelete(w *statusWriter, r *http.Request, tenant string) error {
+	key, err := objectID(r, tenant)
+	if err != nil {
+		return err
+	}
+	info, err := s.vault.Stat(key)
+	if err != nil {
+		return err
+	}
+	if err := s.vault.DeleteContext(r.Context(), key); err != nil {
+		return err
+	}
+	s.quotas.usage(tenant).release(info.PlainLen)
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+func (s *Server) handleScrub(w *statusWriter, r *http.Request, tenant string) error {
+	key, err := objectID(r, tenant)
+	if err != nil {
+		return err
+	}
+	rep, err := s.vault.ScrubContext(r.Context(), key)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, ScrubResult{
+		Object:   strings.TrimPrefix(rep.Object, tenant+"/"),
+		Healthy:  rep.Healthy,
+		Missing:  rep.Missing,
+		Corrupt:  rep.Corrupt,
+		Repaired: rep.Repaired,
+	})
+}
+
+func (s *Server) handleRenew(w *statusWriter, r *http.Request, tenant string) error {
+	key, err := objectID(r, tenant)
+	if err != nil {
+		return err
+	}
+	mode := r.URL.Query().Get("mode")
+	res := RenewResult{Object: strings.TrimPrefix(key, tenant+"/"), Mode: mode}
+	switch mode {
+	case "shares", "":
+		res.Mode = "shares"
+		if err := s.vault.RenewSharesContext(r.Context(), key); err != nil {
+			return err
+		}
+	case "integrity":
+		scheme := sig.Scheme(r.URL.Query().Get("scheme"))
+		if scheme == "" {
+			scheme = sig.Ed25519
+		}
+		if _, err := sig.Get(scheme); err != nil {
+			return badRequestf("unknown signature scheme %q", scheme)
+		}
+		if err := s.vault.RenewIntegrity(key, scheme); err != nil {
+			return err
+		}
+		if info, err := s.vault.Stat(key); err == nil {
+			res.ChainLen = info.ChainLen
+		}
+	default:
+		return badRequestf("unknown renew mode %q (want shares or integrity)", mode)
+	}
+	return writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleList(w *statusWriter, r *http.Request, tenant string) error {
+	prefix := tenant + "/"
+	var ids []string
+	for _, id := range s.vault.Objects() {
+		if strings.HasPrefix(id, prefix) {
+			ids = append(ids, strings.TrimPrefix(id, prefix))
+		}
+	}
+	sort.Strings(ids)
+	return writeJSON(w, http.StatusOK, ListResult{Objects: ids})
+}
+
+func (s *Server) handleUsage(w *statusWriter, r *http.Request, tenant string) error {
+	q := s.quotas.quota(tenant)
+	u := s.quotas.usage(tenant)
+	return writeJSON(w, http.StatusOK, UsageResult{
+		Tenant:     tenant,
+		Bytes:      u.bytes.Load() + u.inflight.Load(),
+		Objects:    u.objects.Load(),
+		MaxBytes:   q.MaxBytes,
+		MaxObjects: q.MaxObjects,
+	})
+}

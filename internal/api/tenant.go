@@ -1,0 +1,151 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Per-tenant namespacing and quotas. Tenants share one vault; the
+// server prefixes every object id with "<tenant>/" so namespaces
+// cannot collide, and admission-controls writes against the tenant's
+// byte and object budgets. Byte quotas are enforced *while the body
+// streams* — a counting reader charges the tenant's in-flight tally as
+// bytes arrive and fails the upload the moment it crosses the budget —
+// so an over-quota client cannot make the server ingest (or stage) an
+// unbounded body first and account for it later.
+
+// Quota bounds one tenant's footprint; zero fields mean unlimited.
+type Quota struct {
+	// MaxBytes caps the sum of plaintext bytes stored (committed plus
+	// in-flight uploads).
+	MaxBytes int64
+	// MaxObjects caps the number of live objects.
+	MaxObjects int64
+}
+
+// Quota errors, surfaced through the streaming reader and mapped to
+// 413/507 by the handler layer.
+var (
+	ErrQuotaBytes   = errors.New("api: tenant byte quota exceeded")
+	ErrQuotaObjects = errors.New("api: tenant object quota exceeded")
+)
+
+// tenantUsage is one tenant's running consumption. bytes/objects are
+// committed state; inflight is the plaintext read off in-progress
+// uploads, charged against the byte budget so concurrent uploads
+// cannot jointly overshoot.
+type tenantUsage struct {
+	bytes    atomic.Int64
+	inflight atomic.Int64
+	objects  atomic.Int64
+}
+
+// quotaTable tracks usage per tenant against configured budgets.
+type quotaTable struct {
+	def     Quota
+	byName  map[string]Quota
+	mu      sync.Mutex
+	tenants map[string]*tenantUsage
+}
+
+func newQuotaTable(def Quota, byName map[string]Quota) *quotaTable {
+	return &quotaTable{def: def, byName: byName, tenants: make(map[string]*tenantUsage)}
+}
+
+func (q *quotaTable) quota(tenant string) Quota {
+	if qt, ok := q.byName[tenant]; ok {
+		return qt
+	}
+	return q.def
+}
+
+func (q *quotaTable) usage(tenant string) *tenantUsage {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	u := q.tenants[tenant]
+	if u == nil {
+		u = &tenantUsage{}
+		q.tenants[tenant] = u
+	}
+	return u
+}
+
+// admitObject checks the object-count budget for one incoming put.
+func (q *quotaTable) admitObject(tenant string) error {
+	qt := q.quota(tenant)
+	if qt.MaxObjects > 0 && q.usage(tenant).objects.Load() >= qt.MaxObjects {
+		return fmt.Errorf("%w: tenant %q at %d objects", ErrQuotaObjects, tenant, qt.MaxObjects)
+	}
+	return nil
+}
+
+// quotaReader charges every byte read from an upload body against the
+// tenant's byte budget. It reports ErrQuotaBytes as soon as committed
+// plus in-flight bytes cross the budget; the vault's streaming writer
+// surfaces that as the put's failure and aborts its stage. settle()
+// must run exactly once when the request ends: it returns the
+// in-flight charge and, on success, commits the actual byte count.
+type quotaReader struct {
+	r       io.Reader
+	u       *tenantUsage
+	max     int64 // 0 = unlimited
+	tenant  string
+	counted int64
+	err     error // sticky once the budget is breached
+}
+
+func (qr *quotaReader) Read(p []byte) (int, error) {
+	// The breach must be sticky: io.ReadFull swallows an error returned
+	// alongside a buffer-filling read, so without it a chunk-aligned
+	// upload would sail past the budget one swallowed error at a time.
+	if qr.err != nil {
+		return 0, qr.err
+	}
+	n, err := qr.r.Read(p)
+	if n > 0 {
+		qr.counted += int64(n)
+		qr.u.inflight.Add(int64(n))
+		if qr.max > 0 && qr.u.bytes.Load()+qr.u.inflight.Load() > qr.max {
+			qr.err = fmt.Errorf("%w: tenant %q over %d bytes", ErrQuotaBytes, qr.tenant, qr.max)
+			return n, qr.err
+		}
+	}
+	return n, err
+}
+
+// settle releases the in-flight charge; committed says whether the put
+// succeeded, in which case the bytes move to the committed tally.
+func (qr *quotaReader) settle(committed bool) {
+	qr.u.inflight.Add(-qr.counted)
+	if committed {
+		qr.u.bytes.Add(qr.counted)
+		qr.u.objects.Add(1)
+	}
+}
+
+// release returns a deleted object's footprint to the tenant's budget.
+func (u *tenantUsage) release(bytes int64) {
+	u.bytes.Add(-bytes)
+	u.objects.Add(-1)
+}
+
+// validTenant accepts DNS-label-ish tenant names; the "/" namespace
+// separator and path metacharacters are rejected outright.
+func validTenant(t string) bool {
+	if t == "" || len(t) > 64 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return t != "." && t != ".."
+}

@@ -19,6 +19,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -217,8 +218,14 @@ func (c *Cluster) SetOnline(id int, online bool) error {
 // Put stores a shard on a node at the current epoch, replacing any
 // previous version of the same key.
 func (c *Cluster) Put(nodeID int, key ShardKey, data []byte) error {
+	return c.PutCtx(context.Background(), nodeID, key, data)
+}
+
+// PutCtx is Put with cancellation through the fault plan's injected
+// latency: a cancelled caller stops waiting on a slow node immediately.
+func (c *Cluster) PutCtx(ctx context.Context, nodeID int, key ShardKey, data []byte) error {
 	start := time.Now()
-	err := c.put(nodeID, key, data)
+	err := c.put(ctx, nodeID, key, data)
 	m := c.metrics
 	m.putNs.Observe(float64(time.Since(start).Nanoseconds()))
 	if err != nil {
@@ -230,7 +237,7 @@ func (c *Cluster) Put(nodeID int, key ShardKey, data []byte) error {
 	return nil
 }
 
-func (c *Cluster) put(nodeID int, key ShardKey, data []byte) error {
+func (c *Cluster) put(ctx context.Context, nodeID int, key ShardKey, data []byte) error {
 	n, err := c.Node(nodeID)
 	if err != nil {
 		return err
@@ -240,7 +247,7 @@ func (c *Cluster) put(nodeID int, key ShardKey, data []byte) error {
 	if !n.Online {
 		return fmt.Errorf("%w: node %d", ErrNodeDown, nodeID)
 	}
-	if err := c.injectFault(n, false, key); err != nil {
+	if err := c.injectFault(ctx, n, false, key); err != nil {
 		return err
 	}
 	if err := n.st.Put(Shard{Key: key, Epoch: c.Epoch(), Data: data}); err != nil {
@@ -254,8 +261,14 @@ func (c *Cluster) put(nodeID int, key ShardKey, data []byte) error {
 
 // Get fetches a shard from a node.
 func (c *Cluster) Get(nodeID int, key ShardKey) (Shard, error) {
+	return c.GetCtx(context.Background(), nodeID, key)
+}
+
+// GetCtx is Get with cancellation through the fault plan's injected
+// latency: a cancelled caller stops waiting on a slow node immediately.
+func (c *Cluster) GetCtx(ctx context.Context, nodeID int, key ShardKey) (Shard, error) {
 	start := time.Now()
-	sh, err := c.get(nodeID, key)
+	sh, err := c.get(ctx, nodeID, key)
 	m := c.metrics
 	m.getNs.Observe(float64(time.Since(start).Nanoseconds()))
 	if err != nil {
@@ -267,7 +280,7 @@ func (c *Cluster) Get(nodeID int, key ShardKey) (Shard, error) {
 	return sh, nil
 }
 
-func (c *Cluster) get(nodeID int, key ShardKey) (Shard, error) {
+func (c *Cluster) get(ctx context.Context, nodeID int, key ShardKey) (Shard, error) {
 	n, err := c.Node(nodeID)
 	if err != nil {
 		return Shard{}, err
@@ -277,7 +290,7 @@ func (c *Cluster) get(nodeID int, key ShardKey) (Shard, error) {
 	if !n.Online {
 		return Shard{}, fmt.Errorf("%w: node %d", ErrNodeDown, nodeID)
 	}
-	if err := c.injectFault(n, true, key); err != nil {
+	if err := c.injectFault(ctx, n, true, key); err != nil {
 		return Shard{}, err
 	}
 	sh, ok, err := n.st.Get(key)

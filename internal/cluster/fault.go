@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -85,14 +86,27 @@ func (c *Cluster) SetFaultPlan(p *FaultPlan) {
 // injectFault applies the node's fault plan to one data-path operation.
 // Called with n.mu held (the epoch read is a lock-free atomic, so no
 // cluster-level lock is taken under the node lock). For reads, key names
-// the shard that bit rot would damage.
-func (c *Cluster) injectFault(n *Node, read bool, key ShardKey) error {
+// the shard that bit rot would damage. The injected latency sleep
+// selects on ctx.Done(): a cancelled caller stops paying for a slow
+// node immediately (ErrRetryAborted wrapping the context error) instead
+// of serving out the provider's simulated seek time.
+func (c *Cluster) injectFault(ctx context.Context, n *Node, read bool, key ShardKey) error {
 	f := n.faults
 	if f == nil {
 		return nil
 	}
 	if f.Latency > 0 {
-		time.Sleep(f.Latency)
+		if ctx.Done() == nil {
+			time.Sleep(f.Latency)
+		} else {
+			t := time.NewTimer(f.Latency)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return retryAbort(ctx)
+			}
+		}
 	}
 	epoch := c.Epoch()
 	for _, w := range f.Offline {

@@ -68,6 +68,18 @@ func retryMetrics() (*obs.Counter, *obs.Counter) {
 	return retryAttempts, retryBackoffNs
 }
 
+// ErrRetryAborted wraps a context error that cut a retry loop short:
+// errors.Is(err, ErrRetryAborted) distinguishes "the caller gave up"
+// from "the retries ran out", while errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded still hold through the wrap.
+var ErrRetryAborted = errors.New("cluster: retry aborted by context")
+
+// retryAbort wraps ctx.Err() so callers can match both ErrRetryAborted
+// and the underlying context error.
+func retryAbort(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrRetryAborted, context.Cause(ctx))
+}
+
 // RetryTransient runs op, retrying with bounded exponential backoff for
 // as long as it returns ErrTransient. Any other outcome — success,
 // ErrNodeDown, ErrNoSuchShard — is final and returned immediately. Every
@@ -77,11 +89,14 @@ func RetryTransient(pol RetryPolicy, op func() error) error {
 	return RetryTransientCtx(context.Background(), pol, op)
 }
 
-// RetryTransientCtx is RetryTransient with trace attribution: when the
-// context carries a recording span, every backoff sleep is recorded on
-// it as a "backoff.slept" event (attempt number and delay) — the retry
-// loop's time becomes visible in the trace timeline instead of vanishing
-// into the parent span's duration.
+// RetryTransientCtx is RetryTransient with cancellation and trace
+// attribution: every backoff sleep selects on ctx.Done(), so a caller
+// that disconnects mid-backoff gets ErrRetryAborted (wrapping ctx's
+// error) promptly instead of sleeping out the whole schedule. When the
+// context carries a recording span, each sleep is recorded on it as a
+// "backoff.slept" event (attempt number and delay) — the retry loop's
+// time becomes visible in the trace timeline instead of vanishing into
+// the parent span's duration.
 func RetryTransientCtx(ctx context.Context, pol RetryPolicy, op func() error) error {
 	pol = pol.normalize()
 	delay := pol.BaseDelay
@@ -89,6 +104,9 @@ func RetryTransientCtx(ctx context.Context, pol RetryPolicy, op func() error) er
 	sp := trace.FromContext(ctx)
 	var err error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return retryAbort(ctx)
+		}
 		if err = op(); !errors.Is(err, ErrTransient) {
 			return err
 		}
@@ -97,7 +115,13 @@ func RetryTransientCtx(ctx context.Context, pol RetryPolicy, op func() error) er
 			backoff.Add(delay.Nanoseconds())
 			sp.Event("backoff.slept",
 				trace.Int("attempt", attempt+1), trace.Int64("delay_ns", delay.Nanoseconds()))
-			time.Sleep(delay)
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return retryAbort(ctx)
+			}
 			delay *= 2
 			if delay > pol.MaxDelay {
 				delay = pol.MaxDelay
@@ -113,12 +137,14 @@ func (c *Cluster) GetRetry(nodeID int, key ShardKey, pol RetryPolicy) (Shard, er
 }
 
 // GetRetryCtx is GetRetry with backoff sleeps attributed to the
-// context's span; see RetryTransientCtx.
+// context's span and aborted by its cancellation; see RetryTransientCtx.
+// The underlying fetch is GetCtx, so injected node latency is also cut
+// short when the caller goes away.
 func (c *Cluster) GetRetryCtx(ctx context.Context, nodeID int, key ShardKey, pol RetryPolicy) (Shard, error) {
 	var sh Shard
 	err := RetryTransientCtx(ctx, pol, func() error {
 		var e error
-		sh, e = c.Get(nodeID, key)
+		sh, e = c.GetCtx(ctx, nodeID, key)
 		return e
 	})
 	return sh, err
@@ -164,6 +190,13 @@ type StripeResult struct {
 	// Failures records, per node that was probed and yielded nothing,
 	// the terminal error (including ErrShardInvalid for discards).
 	Failures []NodeFailure
+	// Canceled is non-nil when the read stopped early because the
+	// caller's context was cancelled (wrapping the context error): the
+	// probe waves quit instead of burning retries for a reader that has
+	// gone away. A short Fetched count with Canceled set means "the
+	// caller left", not "the stripe is unreadable" — callers must
+	// surface the context error, not a degraded-read error.
+	Canceled error
 }
 
 // Degraded reports whether the read had to route around any failure or
@@ -242,6 +275,14 @@ func (c *Cluster) FetchChunkStripeCtx(ctx context.Context, object string, chunk,
 		go func() {
 			defer wg.Done()
 			for {
+				// Cancellation checkpoint between probe waves: a
+				// disconnected caller must not keep burning probes,
+				// retries, and injected latency across the remaining
+				// nodes (GetRetryCtx below cuts the in-flight probe's
+				// backoff short; this stops the next one from starting).
+				if ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				if res.Fetched >= want || next >= n {
 					mu.Unlock()
@@ -287,11 +328,16 @@ func (c *Cluster) FetchChunkStripeCtx(ctx context.Context, object string, chunk,
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil && res.Fetched < want {
+		res.Canceled = retryAbort(ctx)
+	}
 	sort.Ints(res.Discarded)
 	sort.Slice(res.Failures, func(a, b int) bool { return res.Failures[a].Node < res.Failures[b].Node })
 	m.fetchNs.Observe(float64(time.Since(start).Nanoseconds()))
 	fsp.SetAttrs(trace.Int("fetched", res.Fetched), trace.Int("discarded", len(res.Discarded)))
 	switch {
+	case res.Canceled != nil:
+		fsp.Event("fetch.canceled", trace.Int("got", res.Fetched), trace.Int("want", want))
 	case res.Fetched < want:
 		m.short.Inc()
 		fsp.Event("stripe.short", trace.Int("got", res.Fetched), trace.Int("want", want))
@@ -300,6 +346,6 @@ func (c *Cluster) FetchChunkStripeCtx(ctx context.Context, object string, chunk,
 	default:
 		m.full.Inc()
 	}
-	fsp.End(nil)
+	fsp.End(res.Canceled)
 	return res
 }

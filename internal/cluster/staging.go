@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -22,8 +23,15 @@ import (
 // already held by a different token returns ErrDuplicateKey, refusing to
 // commit over a foreign stage.
 func (c *Cluster) PutStaged(nodeID int, stage string, key ShardKey, data []byte) error {
+	return c.PutStagedCtx(context.Background(), nodeID, stage, key, data)
+}
+
+// PutStagedCtx is PutStaged with cancellation through the fault plan's
+// injected latency — the variant the vault's staged dispersal uses so a
+// cancelled writer stops paying per-node latency mid-stripe.
+func (c *Cluster) PutStagedCtx(ctx context.Context, nodeID int, stage string, key ShardKey, data []byte) error {
 	start := time.Now()
-	err := c.putStaged(nodeID, stage, key, data)
+	err := c.putStaged(ctx, nodeID, stage, key, data)
 	m := c.metrics
 	m.putNs.Observe(float64(time.Since(start).Nanoseconds()))
 	if err != nil {
@@ -35,7 +43,7 @@ func (c *Cluster) PutStaged(nodeID int, stage string, key ShardKey, data []byte)
 	return nil
 }
 
-func (c *Cluster) putStaged(nodeID int, stage string, key ShardKey, data []byte) error {
+func (c *Cluster) putStaged(ctx context.Context, nodeID int, stage string, key ShardKey, data []byte) error {
 	n, err := c.Node(nodeID)
 	if err != nil {
 		return err
@@ -45,7 +53,7 @@ func (c *Cluster) putStaged(nodeID int, stage string, key ShardKey, data []byte)
 	if !n.Online {
 		return fmt.Errorf("%w: node %d", ErrNodeDown, nodeID)
 	}
-	if err := c.injectFault(n, false, key); err != nil {
+	if err := c.injectFault(ctx, n, false, key); err != nil {
 		return err
 	}
 	if owner, ok := n.st.StagedOwner(key); ok && owner != stage {

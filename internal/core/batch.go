@@ -384,6 +384,9 @@ func (v *Vault) fetchBatchBlob(ctx context.Context, memberID string, bs *batchSt
 		v.markDirty(memberID)
 		sp.Event("read.dirty", trace.Int("discarded", len(res.Discarded)))
 	}
+	if res.Canceled != nil {
+		return nil, fmt.Errorf("core: get %s: %w", memberID, res.Canceled)
+	}
 	if res.Fetched < min {
 		v.obsm.readInsufficient.Inc()
 		sp.Event("read.insufficient", trace.Int("got", res.Fetched), trace.Int("want", min))
@@ -506,6 +509,9 @@ func (v *Vault) scrubBatchMember(ctx context.Context, id string, obj *vaultObjec
 	defer bs.mu.Unlock()
 	n, _ := v.Encoding.Shards()
 	res := v.Cluster.FetchStripeCtx(ctx, bs.id, n, n, v.retry, nil)
+	if res.Canceled != nil {
+		return nil, fmt.Errorf("core: scrub %s: %w", id, res.Canceled)
+	}
 	shards := res.Shards
 	healthy, missing, corrupt := CheckShards(shards, bs.digests)
 	rep := &ScrubReport{Object: id, Healthy: healthy, Missing: missing, Corrupt: corrupt}

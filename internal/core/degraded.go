@@ -67,6 +67,14 @@ type vaultMetrics struct {
 	pipelineChunks *obs.Counter
 	pipelineMBs    *obs.Histogram
 
+	// Streaming ingest (stream.go): reader-fed puts, and the in-flight /
+	// high-water plaintext bytes buffered between the reader and the
+	// staged cluster writes — the gauge that proves a multi-GiB upload
+	// stays O(chunk), not O(object), in RAM.
+	streamPuts     *obs.Counter
+	streamBuffered *obs.Gauge
+	streamPeak     *obs.Gauge
+
 	// Batched small-object writes (batch.go): member puts admitted,
 	// flushes performed, members per flush, and how long a member waited
 	// from enqueue to commit.
@@ -92,6 +100,9 @@ func newVaultMetrics(reg *obs.Registry, encName string) *vaultMetrics {
 		pipelinePuts:     reg.Counter("vault.pipeline.puts"),
 		pipelineChunks:   reg.Counter("vault.pipeline.chunks"),
 		pipelineMBs:      reg.Histogram("vault.pipeline.mbps", obs.RateBuckets()),
+		streamPuts:       reg.Counter("vault.stream.puts"),
+		streamBuffered:   reg.Gauge("vault.stream.buffered_bytes"),
+		streamPeak:       reg.Gauge("vault.stream.peak_buffered_bytes"),
 		batchPuts:        reg.Counter("vault.batch.puts"),
 		batchFlushes:     reg.Counter("vault.batch.flushes"),
 		batchMembers:     reg.Histogram("vault.batch.members", []float64{1, 2, 4, 8, 16, 32, 64, 128}),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"fmt"
@@ -119,6 +120,12 @@ func (v *Vault) disperseChunked(ctx context.Context, id string, data []byte) ([]
 	err := parallel.Pipeline(pipelineDepth,
 		func(emit func(encodedChunk) bool) error {
 			for i := 0; i < chunks; i++ {
+				// Cancellation checkpoint between chunk encodes: a
+				// disconnected client must not keep burning CPU on the
+				// remaining chunks of an object nobody will commit.
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: encode %s chunk %d: %w", id, i, err)
+				}
 				lo := i * cs
 				hi := min(lo+cs, len(data))
 				if i == chunks-1 {
@@ -135,6 +142,12 @@ func (v *Vault) disperseChunked(ctx context.Context, id string, data []byte) ([]
 			return nil
 		},
 		func(c encodedChunk) error {
+			// Mirror checkpoint on the staging side: RetryTransientCtx
+			// inside stageShards aborts an in-flight backoff, this stops
+			// the next chunk's staging from starting at all.
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: stage %s chunk %d: %w", id, c.idx, err)
+			}
 			if err := v.stageShards(pctx, stage, id, c.idx, c.enc.Shards); err != nil {
 				return err
 			}
@@ -172,59 +185,17 @@ func (v *Vault) disperseChunked(ctx context.Context, id string, data []byte) ([]
 }
 
 // readChunked is the degraded read body for pipeline-written objects;
-// callers hold obj.mu and have checked liveness. Each chunk is an
-// independent k-of-n stripe read validated against its own digests; the
-// integrity chain verifies the reassembled whole, exactly as it was
-// written.
+// callers hold obj.mu and have checked liveness. It is readChunkedTo
+// (stream.go) into a buffer: each chunk is an independent k-of-n stripe
+// read validated against its own digests, and the integrity chain
+// verifies the whole exactly as it was written.
 func (v *Vault) readChunked(ctx context.Context, id string, obj *vaultObject) ([]byte, error) {
-	sp := trace.FromContext(ctx)
-	n, min := v.Encoding.Shards()
-	out := make([]byte, 0, obj.enc.PlainLen)
-	dctx, dsp := trace.Child(ctx, "vault.decode", trace.Int("chunks", len(obj.chunks)))
-	decStart := time.Now()
-	for ci := range obj.chunks {
-		cm := &obj.chunks[ci]
-		res := v.Cluster.FetchChunkStripeCtx(dctx, id, ci, n, min, v.retry, func(i int, data []byte) bool {
-			return i < len(cm.digests) && sha256.Sum256(data) == cm.digests[i]
-		})
-		if len(res.Discarded) > 0 {
-			v.obsm.readDiscarded.Add(int64(len(res.Discarded)))
-			v.markDirty(id)
-			sp.Event("read.dirty", trace.Int("chunk", ci), trace.Int("discarded", len(res.Discarded)))
-		}
-		if res.Fetched < min {
-			v.obsm.readInsufficient.Inc()
-			sp.Event("read.insufficient",
-				trace.Int("chunk", ci), trace.Int("got", res.Fetched), trace.Int("want", min))
-			dsp.End(ErrDegraded)
-			return nil, &DegradedError{Object: id, Got: res.Fetched, Want: min, Failures: res.Failures}
-		}
-		if res.Degraded() {
-			v.obsm.readDegraded.Inc()
-		}
-		chunkData, err := v.Encoding.Decode(&Encoded{
-			Scheme:       cm.enc.Scheme,
-			PlainLen:     cm.enc.PlainLen,
-			Shards:       res.Shards,
-			ClientSecret: cm.enc.ClientSecret,
-			PublicMeta:   cm.enc.PublicMeta,
-		})
-		if err != nil {
-			dsp.End(err)
-			return nil, fmt.Errorf("core: decode %s chunk %d: %w", id, ci, err)
-		}
-		out = append(out, chunkData...)
+	var buf bytes.Buffer
+	buf.Grow(obj.enc.PlainLen)
+	if _, err := v.readChunkedTo(ctx, id, obj, &buf); err != nil {
+		return nil, err
 	}
-	dsp.End(nil)
-	observeRate(v.obsm.decodeMBs, len(out), time.Since(decStart))
-	v.obsm.getBytes.Observe(float64(len(out)))
-	_, vsp := trace.Child(ctx, "vault.verify")
-	err := obj.chain.VerifyData(out)
-	vsp.End(err)
-	if err != nil {
-		return nil, fmt.Errorf("core: integrity chain rejects data for %s: %w", id, err)
-	}
-	return out, nil
+	return buf.Bytes(), nil
 }
 
 // scrubChunked audits and repairs a pipeline-written object chunk by
@@ -243,6 +214,9 @@ func (v *Vault) scrubChunked(ctx context.Context, id string, obj *vaultObject) (
 	for ci := range obj.chunks {
 		cm := &obj.chunks[ci]
 		res := v.Cluster.FetchChunkStripeCtx(ctx, id, ci, n, n, v.retry, nil)
+		if res.Canceled != nil {
+			return rep, fmt.Errorf("core: scrub %s chunk %d: %w", id, ci, res.Canceled)
+		}
 		shards := res.Shards
 		healthy, missing, corrupt := CheckShards(shards, cm.digests)
 		for _, i := range missing {

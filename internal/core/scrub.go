@@ -147,6 +147,9 @@ func (v *Vault) scrubObject(ctx context.Context, id string, obj *vaultObject) (*
 	}
 	n, _ := v.Encoding.Shards()
 	res := v.Cluster.FetchStripeCtx(ctx, id, n, n, v.retry, nil)
+	if res.Canceled != nil {
+		return nil, fmt.Errorf("core: scrub %s: %w", id, res.Canceled)
+	}
 	shards := res.Shards
 	healthy, missing, corrupt := CheckShards(shards, obj.digests)
 	rep := &ScrubReport{Object: id, Healthy: healthy, Missing: missing, Corrupt: corrupt}

@@ -81,6 +81,14 @@ type Vault struct {
 	stageSeq atomic.Int64
 	batchSeq atomic.Int64
 
+	// streamBuffered/streamPeak meter the streaming writer's in-flight
+	// plaintext bytes (read from the client but not yet staged on the
+	// cluster) and the high-water mark across the vault's lifetime —
+	// the evidence that streaming ingest is O(chunk), not O(object).
+	// Mirrored into the vault.stream.* gauges; see stream.go.
+	streamBuffered atomic.Int64
+	streamPeak     atomic.Int64
+
 	// obsReg/obsm are the metrics registry and pre-resolved instruments;
 	// see degraded.go. tracer roots one hierarchical trace per vault op
 	// (Put/Get/Renew/Scrub/Delete) and bridges span durations into
@@ -417,7 +425,7 @@ func (v *Vault) stageShards(ctx context.Context, stage, id string, chunk int, sh
 		}
 		i, sh := i, sh
 		err := cluster.RetryTransientCtx(ctx, v.retry, func() error {
-			return v.Cluster.PutStaged(i, stage, cluster.ShardKey{Object: id, Index: i, Chunk: chunk}, sh)
+			return v.Cluster.PutStagedCtx(ctx, i, stage, cluster.ShardKey{Object: id, Index: i, Chunk: chunk}, sh)
 		})
 		if err != nil {
 			return fmt.Errorf("core: disperse %s chunk %d shard %d: %w", id, chunk, i, err)
@@ -488,6 +496,12 @@ func (v *Vault) readObject(ctx context.Context, id string, obj *vaultObject) ([]
 		v.obsm.readDiscarded.Add(int64(len(res.Discarded)))
 		v.markDirty(id)
 		sp.Event("read.dirty", trace.Int("discarded", len(res.Discarded)))
+	}
+	if res.Canceled != nil {
+		// The caller went away mid-read: this is cancellation, not a
+		// degraded stripe — surface the context error so errors.Is
+		// (err, context.Canceled) holds for the abandoning client.
+		return nil, fmt.Errorf("core: get %s: %w", id, res.Canceled)
 	}
 	if res.Fetched < min {
 		v.obsm.readInsufficient.Inc()

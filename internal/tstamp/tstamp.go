@@ -110,19 +110,27 @@ type Chain struct {
 // a scalar, so arbitrarily large objects are supported while the
 // commitment itself stays hiding.
 func New(data []byte, mode RefMode, scheme sig.Scheme, epoch int, grp *group.Group, rnd io.Reader) (*Chain, error) {
+	return NewFromDigest(sha256.Sum256(data), mode, scheme, epoch, grp, rnd)
+}
+
+// NewFromDigest starts a chain over data known only by its SHA-256
+// digest — the streaming-ingest entry point: both reference modes bind
+// the object through its digest anyway (RefHash directly, RefCommitment
+// as the committed scalar), so a writer that hashed the object
+// incrementally while dispersing it never needs the whole plaintext in
+// memory to open its chain.
+func NewFromDigest(digest [sha256.Size]byte, mode RefMode, scheme sig.Scheme, epoch int, grp *group.Group, rnd io.Reader) (*Chain, error) {
 	c := &Chain{Mode: mode}
 	var ref []byte
 	switch mode {
 	case RefHash:
-		d := sha256.Sum256(data)
-		ref = d[:]
+		ref = digest[:]
 	case RefCommitment:
 		if grp == nil {
 			grp = group.Default()
 		}
 		c.ped = commit.NewPedersen(grp)
-		d := sha256.Sum256(data)
-		m := new(big.Int).SetBytes(d[:28]) // fits any sane group's scalar capacity
+		m := new(big.Int).SetBytes(digest[:28]) // fits any sane group's scalar capacity
 		pc, op, err := c.ped.Commit(m, rnd)
 		if err != nil {
 			return nil, err
@@ -225,14 +233,20 @@ func (c *Chain) Verify(now int, breaks sig.BreakSchedule) error {
 // in hash mode by digest comparison, in commitment mode by verifying the
 // retained opening against the committed scalar.
 func (c *Chain) VerifyData(data []byte) error {
+	return c.VerifyDigest(sha256.Sum256(data))
+}
+
+// VerifyDigest is VerifyData for callers that hashed the object
+// incrementally (streaming reads): the chain binds the digest, so the
+// check never needs the whole plaintext at once.
+func (c *Chain) VerifyDigest(digest [sha256.Size]byte) error {
 	if len(c.Links) == 0 {
 		return ErrEmptyChain
 	}
 	first := c.Links[0]
 	switch c.Mode {
 	case RefHash:
-		d := sha256.Sum256(data)
-		if string(d[:]) != string(first.Ref) {
+		if string(digest[:]) != string(first.Ref) {
 			return ErrOpeningFailed
 		}
 		return nil
@@ -240,8 +254,7 @@ func (c *Chain) VerifyData(data []byte) error {
 		if c.Opening == nil || c.ped == nil {
 			return fmt.Errorf("%w: opening not held", ErrOpeningFailed)
 		}
-		d := sha256.Sum256(data)
-		m := new(big.Int).SetBytes(d[:28])
+		m := new(big.Int).SetBytes(digest[:28])
 		if m.Cmp(c.Opening.M) != 0 {
 			return ErrOpeningFailed
 		}

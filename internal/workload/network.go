@@ -1,0 +1,257 @@
+package workload
+
+// Networked saturation: the same closed-loop shape as Saturate, but
+// every operation crosses the wire through the archive service's HTTP
+// API (internal/api) via its Go client — serialisation, routing,
+// tenant admission, and streaming transfer included. Run against a
+// loopback server it measures the service stack's overhead over the
+// in-process vault path; the latency digests come from the server's
+// api.put.ns / api.get.ns histograms, so the harness measures exactly
+// the instrumented handler path.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securearchive/internal/api"
+	"securearchive/internal/api/client"
+	"securearchive/internal/obs"
+)
+
+// bgCtx is the background context every driver op runs under — the
+// sweep has no caller to cancel it.
+var bgCtx = context.Background()
+
+// NetworkConfig parameterises one closed-loop networked run.
+type NetworkConfig struct {
+	// BaseURL is the service root (e.g. "http://127.0.0.1:PORT").
+	BaseURL string
+	// Tenant namespaces the run's objects ("" = server default).
+	Tenant string
+	// Workers, TotalOps, ObjectBytes, Preload, Mix, Seed mirror
+	// SaturationConfig.
+	Workers     int
+	TotalOps    int
+	ObjectBytes int
+	Preload     int
+	Mix         OpMix
+	Seed        int64
+}
+
+func (cfg NetworkConfig) normalize() (NetworkConfig, error) {
+	if cfg.BaseURL == "" {
+		return cfg, fmt.Errorf("%w: empty base URL", ErrBadParams)
+	}
+	if cfg.Workers < 1 {
+		return cfg, fmt.Errorf("%w: workers=%d", ErrBadParams, cfg.Workers)
+	}
+	if cfg.TotalOps < cfg.Workers {
+		cfg.TotalOps = cfg.Workers
+	}
+	if cfg.ObjectBytes <= 0 {
+		cfg.ObjectBytes = 32 << 10
+	}
+	if cfg.Preload <= 0 {
+		cfg.Preload = 8
+	}
+	if cfg.Mix.Put <= 0 && cfg.Mix.Get <= 0 && cfg.Mix.Scrub <= 0 {
+		cfg.Mix = DefaultMix()
+	}
+	return cfg, nil
+}
+
+// NetworkResult reports one closed-loop networked run. Latency digests
+// are end-to-end handler times from the service's api.*.ns histograms.
+type NetworkResult struct {
+	Workers     int     `json:"workers"`
+	Ops         int64   `json:"ops"`
+	Puts        int64   `json:"puts"`
+	Gets        int64   `json:"gets"`
+	Scrubs      int64   `json:"scrubs"`
+	Errors      int64   `json:"errors"`
+	RateLimited int64   `json:"rate_limited"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	PutMBPerSec float64 `json:"put_mb_per_sec"`
+	GetMBPerSec float64 `json:"get_mb_per_sec"`
+	// PutLatency/GetLatency summarise api.put.ns / api.get.ns — request
+	// receipt to response flush, streaming transfer included.
+	PutLatency LatencySummary `json:"put_latency"`
+	GetLatency LatencySummary `json:"get_latency"`
+	// StreamPeakBytes is the server's vault.stream.peak_buffered_bytes
+	// after the run — the in-memory high-water mark of all concurrent
+	// streaming uploads, the number that must stay O(workers × chunk).
+	StreamPeakBytes int64 `json:"stream_peak_bytes"`
+}
+
+// SaturateNetwork drives the service at cfg.BaseURL with closed-loop
+// workers issuing puts/gets/scrubs through the HTTP client. reg must be
+// the registry the server's api.Server and vault report into; it is
+// Reset at the start of the measured window. Op errors are counted,
+// not fatal, except during preload. Get payloads are verified against
+// the deterministic put payloads; a mismatch counts as an error.
+func SaturateNetwork(reg *obs.Registry, cfg NetworkConfig) (*NetworkResult, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	// One shared transport sized to the worker count keeps loopback
+	// connections reused instead of churning through ephemeral ports.
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Workers + 2,
+		MaxIdleConnsPerHost: cfg.Workers + 2,
+		IdleConnTimeout:     30 * time.Second,
+	}}
+	defer httpc.CloseIdleConnections()
+	mkClient := func() *client.Client {
+		cl := client.New(cfg.BaseURL)
+		cl.Tenant = cfg.Tenant
+		cl.HTTPClient = httpc
+		return cl
+	}
+
+	pre := mkClient()
+	preIDs := make([]string, cfg.Preload)
+	for i := range preIDs {
+		preIDs[i] = fmt.Sprintf("pre-%04d", i)
+		if _, err := pre.PutBytes(bgCtx, preIDs[i], payloadFor(preIDs[i], cfg.ObjectBytes)); err != nil {
+			return nil, fmt.Errorf("workload: net preload %s: %w", preIDs[i], err)
+		}
+	}
+
+	var (
+		puts, gets, scrubs, errCount, limited atomic.Int64
+		wg                                    sync.WaitGroup
+	)
+	perWorker := cfg.TotalOps / cfg.Workers
+	total := cfg.Mix.Put + cfg.Mix.Get + cfg.Mix.Scrub
+
+	reg.Reset()
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := mkClient()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			seq := 0
+			note := func(err error) {
+				if err == nil {
+					return
+				}
+				if ae, ok := err.(*api.Error); ok && ae.Code == api.CodeRateLimited {
+					limited.Add(1)
+				}
+				errCount.Add(1)
+			}
+			for op := 0; op < perWorker; op++ {
+				u := rng.Float64() * total
+				switch {
+				case u < cfg.Mix.Put:
+					id := fmt.Sprintf("w%03d-%06d", w, seq)
+					seq++
+					_, err := cl.Put(bgCtx, id, bytes.NewReader(payloadFor(id, cfg.ObjectBytes)))
+					puts.Add(1)
+					note(err)
+				case u < cfg.Mix.Put+cfg.Mix.Get:
+					id := preIDs[rng.Intn(len(preIDs))]
+					data, err := cl.GetBytes(bgCtx, id)
+					gets.Add(1)
+					if err != nil {
+						note(err)
+					} else if !bytesEqual(data, payloadFor(id, cfg.ObjectBytes)) {
+						errCount.Add(1)
+					}
+				default:
+					id := preIDs[rng.Intn(len(preIDs))]
+					_, err := cl.Scrub(bgCtx, id)
+					scrubs.Add(1)
+					note(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := reg.Snapshot()
+	res := &NetworkResult{
+		Workers:     cfg.Workers,
+		Puts:        puts.Load(),
+		Gets:        gets.Load(),
+		Scrubs:      scrubs.Load(),
+		Errors:      errCount.Load(),
+		RateLimited: limited.Load(),
+		ElapsedNs:   elapsed.Nanoseconds(),
+		PutLatency:  summarize(snap.Histograms["api.put.ns"]),
+		GetLatency:  summarize(snap.Histograms["api.get.ns"]),
+	}
+	res.Ops = res.Puts + res.Gets + res.Scrubs
+	if s := elapsed.Seconds(); s > 0 {
+		res.OpsPerSec = float64(res.Ops) / s
+		res.PutMBPerSec = float64(snap.Counters["api.bytes_in"]) / s / 1e6
+		res.GetMBPerSec = float64(snap.Counters["api.bytes_out"]) / s / 1e6
+	}
+	return res, nil
+}
+
+// NetworkCell is one fresh service instance for a sweep cell: the
+// sweep drives BaseURL, reads Registry, and calls Shutdown when done.
+type NetworkCell struct {
+	BaseURL  string
+	Registry *obs.Registry
+	// StreamPeak reports the server vault's streaming high-water mark
+	// (nil when the caller doesn't track it).
+	StreamPeak func() int64
+	Shutdown   func()
+}
+
+// SweepNetworkWorkers runs SaturateNetwork at each worker count, each
+// against a fresh service built by mk — no cross-cell connection
+// warmth, leftover objects, or tenant usage.
+func SweepNetworkWorkers(workerCounts []int, cfg NetworkConfig, mk func() (*NetworkCell, error)) ([]*NetworkResult, error) {
+	var out []*NetworkResult
+	for _, w := range workerCounts {
+		cell, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Workers = w
+		c.BaseURL = cell.BaseURL
+		res, err := SaturateNetwork(cell.Registry, c)
+		if err == nil && cell.StreamPeak != nil {
+			res.StreamPeakBytes = cell.StreamPeak()
+		}
+		cell.Shutdown()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// NetScalingX mirrors ScalingX for networked runs.
+func NetScalingX(results []*NetworkResult, wLow, wHigh int) float64 {
+	var lo, hi float64
+	for _, r := range results {
+		switch r.Workers {
+		case wLow:
+			lo = r.OpsPerSec
+		case wHigh:
+			hi = r.OpsPerSec
+		}
+	}
+	if lo <= 0 {
+		return 0
+	}
+	return hi / lo
+}
