@@ -117,18 +117,25 @@ func cmdServe(args []string) {
 		Rate:         api.RateConfig{OpsPerSec: *rate, Burst: *burst},
 		Monitor:      mon,
 	})
+	// The monitor serves the api server's per-tenant SLO table at /slo,
+	// and /healthz judges the degraded-read rate over a sliding window
+	// (sampled below) instead of lifetime counters, so health recovers
+	// once an incident slides out of view.
+	mon.SLO = svc.SLOTable()
+	mon.EnableWindowedHealth(0, 0)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("archivectl: serving on http://%s\n", ln.Addr())
 	fmt.Printf("archivectl: object API: PUT/GET/DELETE /v1/objects/{id}, POST /v1/scrub/{id}, POST /v1/renew/{id}\n")
-	fmt.Printf("archivectl: monitoring: /metrics /snapshot /traces /traces?format=text /healthz /debug/pprof/\n")
+	fmt.Printf("archivectl: monitoring: /metrics /snapshot /traces /traces?format=text /slo /healthz /debug/pprof/\n")
 
 	// Background load: round-robin reads over the seeded objects keep
 	// the metrics and traces moving so the endpoints show a live system,
 	// not a frozen seed.
 	stop := make(chan struct{})
+	mon.StartHealthSampler(stop, 0)
 	if *interval > 0 && *objects > 0 {
 		go func() {
 			i := 0

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 
+	"securearchive/internal/api"
+	"securearchive/internal/api/client"
 	"securearchive/internal/cluster"
 	"securearchive/internal/core"
 	"securearchive/internal/costmodel"
@@ -36,7 +41,37 @@ type obsReport struct {
 	// vault.get's nanoseconds actually went.
 	Stages    []stageRow     `json:"stages"`
 	Section32 []section32Row `json:"section32"`
+	// PerNode breaks the read fan-out down by cluster node from the
+	// cluster.probe{node} / cluster.discard{node} / cluster.retry{node}
+	// labeled families — the dimensional view of where probes landed.
+	PerNode []nodeRow `json:"per_node"`
+	// PerTenant summarises an HTTP phase driven through the api layer by
+	// three tenants, from the api.requests{tenant} / api.errors{tenant} /
+	// api.ns{tenant} labeled families, plus each tenant's sliding-window
+	// SLO error-budget burn.
+	PerTenant []tenantRow    `json:"per_tenant"`
+	SLOReport *obs.SLOReport `json:"slo_report"`
 	Snapshot  *obs.Snapshot  `json:"snapshot"`
+}
+
+// nodeRow is one node's share of the stripe-read fan-out.
+type nodeRow struct {
+	Node     string `json:"node"`
+	Probes   int64  `json:"probes"`
+	Discards int64  `json:"discards"`
+	Retries  int64  `json:"retries"`
+}
+
+// tenantRow is one tenant's API-phase summary.
+type tenantRow struct {
+	Tenant   string  `json:"tenant"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50Ns    float64 `json:"p50_ns"`
+	P99Ns    float64 `json:"p99_ns"`
+	// AvailabilityBurn is the tenant's error-budget burn on the
+	// availability SLO (1.0 = spending exactly the budget).
+	AvailabilityBurn float64 `json:"availability_burn"`
 }
 
 // stageRow is one pipeline stage's share of the read window.
@@ -102,7 +137,7 @@ func runObs(outPath string, objKiB int) {
 	mbps := bytesRead / (readNs / 1e9) / 1e6
 
 	rep := obsReport{
-		Schema:            "securearchive/bench-obs/v1",
+		Schema:            "securearchive/bench-obs/v2",
 		GoMaxProc:         runtime.GOMAXPROCS(0),
 		Objects:           objects,
 		ObjectBytes:       objKiB << 10,
@@ -150,6 +185,86 @@ func runObs(outPath string, objKiB int) {
 		})
 		fmt.Printf("  %-22s paper %6.2f mo   at vault bandwidth %10.0f mo\n", a.Name, paper[a.Name], mo)
 	}
+
+	// Dimensional read-out, phase 1: per-node probe attribution from the
+	// labeled families the read loop just filled.
+	fmt.Println("\nper-node probe fan-out (cluster.probe{node} labeled series):")
+	if lc, ok := snap.LabeledCounters["cluster.probe"]; ok {
+		for _, s := range lc.Series {
+			node := s.Labels[0]
+			row := nodeRow{Node: node, Probes: s.Value}
+			row.Discards, _ = snap.Series("cluster.discard", node)
+			row.Retries, _ = snap.Series("cluster.retry", node)
+			rep.PerNode = append(rep.PerNode, row)
+			fmt.Printf("  node %-4s probes %6d  discards %4d  retries %4d\n",
+				node, row.Probes, row.Discards, row.Retries)
+		}
+	}
+
+	// Phase 2: three tenants drive the same vault through the HTTP api
+	// layer, so the per-tenant families and the SLO table fill from real
+	// requests — the /slo view an operator of this vault would see.
+	fmt.Println("\nper-tenant API phase (HTTP layer, 3 tenants):")
+	svc := api.NewServer(v, api.Config{Registry: reg, Tracer: tr})
+	hs := httptest.NewServer(svc.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+	apiObj := len(buf)
+	if apiObj > 32<<10 {
+		apiObj = 32 << 10
+	}
+	for ti, tenant := range []string{"acme", "umbrella", "initech"} {
+		cl := client.New(hs.URL)
+		cl.Tenant = tenant
+		for i := 0; i < 2+2*ti; i++ { // staggered load so the rows differ
+			id := fmt.Sprintf("api-%02d", i)
+			if _, err := cl.Put(ctx, id, bytes.NewReader(buf[:apiObj])); err != nil {
+				fatal(err)
+			}
+			if _, err := cl.GetBytes(ctx, id); err != nil {
+				fatal(err)
+			}
+		}
+		// One miss per tenant: a 404 keeps availability green (client
+		// fault) but shows up in the per-tenant error counter.
+		if _, err := cl.GetBytes(ctx, "no-such-object"); err == nil {
+			fatal(fmt.Errorf("obs: expected miss for %s", tenant))
+		}
+	}
+	finalSnap := reg.Snapshot()
+	sloRep := svc.SLOTable().Report()
+	burnOf := func(tenant string) float64 {
+		for _, sub := range sloRep.Subjects {
+			if sub.Subject != tenant {
+				continue
+			}
+			for _, st := range sub.SLOs {
+				if st.Name == "availability" {
+					return st.BudgetBurn
+				}
+			}
+		}
+		return 0
+	}
+	if lc, ok := finalSnap.LabeledCounters["api.requests"]; ok {
+		for _, s := range lc.Series {
+			tenant := s.Labels[0]
+			row := tenantRow{Tenant: tenant, Requests: s.Value, AvailabilityBurn: burnOf(tenant)}
+			row.Errors, _ = finalSnap.Series("api.errors", tenant)
+			if lh, ok := finalSnap.LabeledHistograms["api.ns"]; ok {
+				for _, series := range lh.Series {
+					if series.Labels[0] == tenant {
+						row.P50Ns, row.P99Ns = series.P50, series.P99
+					}
+				}
+			}
+			rep.PerTenant = append(rep.PerTenant, row)
+			fmt.Printf("  %-10s requests %4d  errors %3d  p50 %7.0f µs  p99 %7.0f µs  avail-burn %.2f\n",
+				tenant, row.Requests, row.Errors, row.P50Ns/1e3, row.P99Ns/1e3, row.AvailabilityBurn)
+		}
+	}
+	rep.SLOReport = sloRep
+	rep.Snapshot = finalSnap
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"securearchive/internal/api"
+	"securearchive/internal/obs/trace"
 )
 
 // Client talks to one archive service endpoint on behalf of one
@@ -37,6 +38,11 @@ type Client struct {
 	// MaxRetryAfter caps a single Retry-After wait (default 5s) so a
 	// hostile or confused server cannot park the client forever.
 	MaxRetryAfter time.Duration
+	// Tracer roots a client span per call (trace.Default() when nil).
+	// Requests carry a W3C traceparent header whenever the call is
+	// traced, so client retries, rate-limit waits, and the server's
+	// vault spans land in one tree.
+	Tracer *trace.Tracer
 }
 
 // New builds a client for the service at baseURL.
@@ -55,13 +61,39 @@ func (c *Client) objectURL(id string) string {
 	return c.BaseURL + "/v1/objects/" + url.PathEscape(id)
 }
 
+func (c *Client) tracer() *trace.Tracer {
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return trace.Default()
+}
+
+// startSpan roots (or joins, when the context already carries a span)
+// the client-side span for one call.
+func (c *Client) startSpan(ctx context.Context, op, id string) (context.Context, trace.Span) {
+	attrs := []trace.Attr{trace.Str("url", c.BaseURL)}
+	if id != "" {
+		attrs = append(attrs, trace.Str("object", id))
+	}
+	return c.tracer().Start(ctx, "client."+op, attrs...)
+}
+
 // do issues the request, retrying 429s (when the body is replayable)
 // after the server's Retry-After, and converts any non-2xx response
-// into *api.Error. Callers own the returned body.
+// into *api.Error carrying the server's trace ID. When the request
+// context holds a recording span, the request is sent with a W3C
+// traceparent header so the server's half of the work joins the
+// client's trace, and each rate-limit wait lands on the span as a
+// ratelimit.waited event. Callers own the returned body.
 func (c *Client) do(req *http.Request) (*http.Response, error) {
 	if c.Tenant != "" {
 		req.Header.Set(api.TenantHeader, c.Tenant)
 	}
+	sp := trace.FromContext(req.Context())
+	if sp.Recording() {
+		req.Header.Set(trace.TraceparentHeader, trace.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+	}
+	attempt := 0
 	attempts := c.Retry429
 	for {
 		resp, err := c.httpClient().Do(req)
@@ -77,10 +109,13 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 			return nil, apiErr
 		}
 		attempts--
+		attempt++
 		wait := retryAfter(resp)
 		if max := c.maxRetryAfter(); wait > max {
 			wait = max
 		}
+		sp.Event("ratelimit.waited",
+			trace.Int("attempt", attempt), trace.Int64("wait_ms", wait.Milliseconds()))
 		t := time.NewTimer(wait)
 		select {
 		case <-t.C:
@@ -115,9 +150,15 @@ func retryAfter(resp *http.Response) time.Duration {
 }
 
 // decodeError turns a non-2xx response into *api.Error, falling back
-// to the status text when the body is not the service's envelope.
+// to the status text when the body is not the service's envelope. The
+// server's trace ID rides along so the failure is greppable in /traces.
 func decodeError(resp *http.Response) error {
-	e := &api.Error{Status: resp.StatusCode, Code: "http_error", Message: resp.Status}
+	e := &api.Error{
+		Status:  resp.StatusCode,
+		Code:    "http_error",
+		Message: resp.Status,
+		TraceID: resp.Header.Get(api.TraceHeader),
+	}
 	var body struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`
@@ -136,7 +177,9 @@ func drainJSON(resp *http.Response, v any) error {
 // Put streams body into the archive under id and returns the byte
 // count the server ingested. The body is read exactly once, so a 429
 // is returned rather than retried; use PutBytes for automatic retry.
-func (c *Client) Put(ctx context.Context, id string, body io.Reader) (int64, error) {
+func (c *Client) Put(ctx context.Context, id string, body io.Reader) (n int64, err error) {
+	ctx, sp := c.startSpan(ctx, "put", id)
+	defer func() { sp.End(err) }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objectURL(id), body)
 	if err != nil {
 		return 0, err
@@ -149,6 +192,7 @@ func (c *Client) Put(ctx context.Context, id string, body io.Reader) (int64, err
 	if err := drainJSON(resp, &pr); err != nil {
 		return 0, fmt.Errorf("client: decode put result: %w", err)
 	}
+	sp.SetAttrs(trace.Int64("bytes", pr.Bytes))
 	return pr.Bytes, nil
 }
 
@@ -162,7 +206,11 @@ func (c *Client) PutBytes(ctx context.Context, id string, data []byte) (int64, e
 // body; Length is the object's plaintext size from the stat headers. A
 // body that ends short of Length means the server's integrity pipeline
 // failed mid-stream — treat the bytes as invalid.
-func (c *Client) Get(ctx context.Context, id string) (io.ReadCloser, int64, error) {
+func (c *Client) Get(ctx context.Context, id string) (body io.ReadCloser, length int64, err error) {
+	// The span covers request dispatch through response headers; body
+	// streaming happens on the caller's schedule and is not timed here.
+	ctx, sp := c.startSpan(ctx, "get", id)
+	defer func() { sp.End(err) }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.objectURL(id), nil)
 	if err != nil {
 		return nil, 0, err
@@ -211,7 +259,9 @@ func (c *Client) GetTo(ctx context.Context, id string, w io.Writer) (int64, erro
 }
 
 // Stat fetches object metadata without the body.
-func (c *Client) Stat(ctx context.Context, id string) (*api.StatResult, error) {
+func (c *Client) Stat(ctx context.Context, id string) (sr *api.StatResult, err error) {
+	ctx, sp := c.startSpan(ctx, "stat", id)
+	defer func() { sp.End(err) }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.objectURL(id), nil)
 	if err != nil {
 		return nil, err
@@ -233,7 +283,9 @@ func (c *Client) Stat(ctx context.Context, id string) (*api.StatResult, error) {
 }
 
 // Delete removes the object.
-func (c *Client) Delete(ctx context.Context, id string) error {
+func (c *Client) Delete(ctx context.Context, id string) (err error) {
+	ctx, sp := c.startSpan(ctx, "delete", id)
+	defer func() { sp.End(err) }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.objectURL(id), nil)
 	if err != nil {
 		return err
@@ -247,7 +299,9 @@ func (c *Client) Delete(ctx context.Context, id string) error {
 }
 
 // Scrub audits (and repairs if needed) the object's stripes.
-func (c *Client) Scrub(ctx context.Context, id string) (*api.ScrubResult, error) {
+func (c *Client) Scrub(ctx context.Context, id string) (sr *api.ScrubResult, err error) {
+	ctx, sp := c.startSpan(ctx, "scrub", id)
+	defer func() { sp.End(err) }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/scrub/"+url.PathEscape(id), nil)
 	if err != nil {
 		return nil, err
@@ -256,17 +310,19 @@ func (c *Client) Scrub(ctx context.Context, id string) (*api.ScrubResult, error)
 	if err != nil {
 		return nil, err
 	}
-	var sr api.ScrubResult
-	if err := drainJSON(resp, &sr); err != nil {
+	var res api.ScrubResult
+	if err := drainJSON(resp, &res); err != nil {
 		return nil, fmt.Errorf("client: decode scrub result: %w", err)
 	}
-	return &sr, nil
+	return &res, nil
 }
 
 // Renew refreshes the object: mode "shares" re-encodes and rewrites
 // the stripes, mode "integrity" appends a chain link under scheme
 // (server default when empty).
-func (c *Client) Renew(ctx context.Context, id, mode, scheme string) (*api.RenewResult, error) {
+func (c *Client) Renew(ctx context.Context, id, mode, scheme string) (rr *api.RenewResult, err error) {
+	ctx, sp := c.startSpan(ctx, "renew", id)
+	defer func() { sp.End(err) }()
 	u := c.BaseURL + "/v1/renew/" + url.PathEscape(id) + "?mode=" + url.QueryEscape(mode)
 	if scheme != "" {
 		u += "&scheme=" + url.QueryEscape(scheme)
@@ -279,15 +335,17 @@ func (c *Client) Renew(ctx context.Context, id, mode, scheme string) (*api.Renew
 	if err != nil {
 		return nil, err
 	}
-	var rr api.RenewResult
-	if err := drainJSON(resp, &rr); err != nil {
+	var res api.RenewResult
+	if err := drainJSON(resp, &res); err != nil {
 		return nil, fmt.Errorf("client: decode renew result: %w", err)
 	}
-	return &rr, nil
+	return &res, nil
 }
 
 // List returns the tenant's object ids (sorted).
-func (c *Client) List(ctx context.Context) ([]string, error) {
+func (c *Client) List(ctx context.Context) (ids []string, err error) {
+	ctx, sp := c.startSpan(ctx, "list", "")
+	defer func() { sp.End(err) }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/objects", nil)
 	if err != nil {
 		return nil, err
@@ -304,7 +362,9 @@ func (c *Client) List(ctx context.Context) ([]string, error) {
 }
 
 // Usage reports the tenant's quota consumption.
-func (c *Client) Usage(ctx context.Context) (*api.UsageResult, error) {
+func (c *Client) Usage(ctx context.Context) (ur *api.UsageResult, err error) {
+	ctx, sp := c.startSpan(ctx, "usage", "")
+	defer func() { sp.End(err) }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/usage", nil)
 	if err != nil {
 		return nil, err
@@ -313,9 +373,9 @@ func (c *Client) Usage(ctx context.Context) (*api.UsageResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var ur api.UsageResult
-	if err := drainJSON(resp, &ur); err != nil {
+	var res api.UsageResult
+	if err := drainJSON(resp, &res); err != nil {
 		return nil, fmt.Errorf("client: decode usage result: %w", err)
 	}
-	return &ur, nil
+	return &res, nil
 }

@@ -28,16 +28,25 @@ type metrics struct {
 	// PUT and GET bodies.
 	bytesIn  *obs.Counter
 	bytesOut *obs.Counter
+	// Per-tenant dimension (the flat api.<op>.* instruments above stay,
+	// so pre-existing dashboards keep working): requests, errors, and
+	// latency keyed by tenant across all ops.
+	reqsByTenant *obs.LabeledCounter
+	errsByTenant *obs.LabeledCounter
+	latByTenant  *obs.LabeledHistogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
 	m := &metrics{
-		ops:         make(map[string]*opMetrics, len(apiOps)),
-		inFlight:    reg.Gauge("api.inflight"),
-		rateLimited: reg.Counter("api.rate_limited"),
-		quotaDenied: reg.Counter("api.quota_denied"),
-		bytesIn:     reg.Counter("api.bytes_in"),
-		bytesOut:    reg.Counter("api.bytes_out"),
+		ops:          make(map[string]*opMetrics, len(apiOps)),
+		inFlight:     reg.Gauge("api.inflight"),
+		rateLimited:  reg.Counter("api.rate_limited"),
+		quotaDenied:  reg.Counter("api.quota_denied"),
+		bytesIn:      reg.Counter("api.bytes_in"),
+		bytesOut:     reg.Counter("api.bytes_out"),
+		reqsByTenant: reg.LabeledCounter("api.requests", "tenant"),
+		errsByTenant: reg.LabeledCounter("api.errors", "tenant"),
+		latByTenant:  reg.LabeledHistogram("api.ns", obs.LatencyBuckets(), "tenant"),
 	}
 	for _, op := range apiOps {
 		m.ops[op] = &opMetrics{

@@ -15,6 +15,7 @@ import (
 	"securearchive/internal/core"
 	"securearchive/internal/monitor"
 	"securearchive/internal/obs"
+	"securearchive/internal/obs/trace"
 	"securearchive/internal/sig"
 )
 
@@ -29,9 +30,17 @@ type Config struct {
 	Rate RateConfig
 	// Registry receives the api.* instruments (obs.Default() when nil).
 	Registry *obs.Registry
+	// Tracer roots a span per request — joining the caller's trace when
+	// the request carries a W3C traceparent header — and stamps the
+	// trace ID onto every response (trace.Default() when nil).
+	Tracer *trace.Tracer
+	// SLOs is the per-tenant SLO table the request path feeds; when nil
+	// the server builds one from obs.DefaultSLOSpecs. Serve it at /slo
+	// via monitor.Server.SLO.
+	SLOs *obs.SLOTable
 	// Monitor, when set, is mounted on the same handler: /metrics,
-	// /snapshot, /traces, /healthz and /debug/pprof ride alongside the
-	// /v1 archive routes so one listener serves both planes.
+	// /snapshot, /traces, /slo, /healthz and /debug/pprof ride alongside
+	// the /v1 archive routes so one listener serves both planes.
 	Monitor *monitor.Server
 }
 
@@ -58,6 +67,8 @@ type Server struct {
 	limiter *limiterTable
 	mon     *monitor.Server
 	m       *metrics
+	tracer  *trace.Tracer
+	slos    *obs.SLOTable
 }
 
 // NewServer builds a Server over v.
@@ -66,14 +77,28 @@ func NewServer(v *core.Vault, cfg Config) *Server {
 	if reg == nil {
 		reg = obs.Default()
 	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = trace.Default()
+	}
+	slos := cfg.SLOs
+	if slos == nil {
+		slos = obs.NewSLOTable(obs.DefaultSLOSpecs()...)
+	}
 	return &Server{
 		vault:   v,
 		quotas:  newQuotaTable(cfg.DefaultQuota, cfg.Quotas),
 		limiter: newLimiterTable(cfg.Rate),
 		mon:     cfg.Monitor,
 		m:       newMetrics(reg),
+		tracer:  tr,
+		slos:    slos,
 	}
 }
+
+// SLOTable returns the per-tenant SLO table the request path feeds —
+// hand it to monitor.Server.SLO to serve /slo.
+func (s *Server) SLOTable() *obs.SLOTable { return s.slos }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -111,10 +136,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // route wraps a handler with the service plumbing: tenant resolution,
-// token-bucket admission (429 + Retry-After on refusal), in-flight and
-// latency instrumentation, and error-to-status mapping.
+// per-request span (joining the caller's trace when the request carries
+// a traceparent header, and stamping the trace ID onto the response),
+// token-bucket admission (429 + Retry-After on refusal), flat and
+// per-tenant instrumentation, SLO accounting, and error-to-status
+// mapping.
 func (s *Server) route(op string, h func(w *statusWriter, r *http.Request, tenant string) error) http.HandlerFunc {
 	om := s.m.ops[op]
+	spanName := "api." + op
 	return func(w http.ResponseWriter, r *http.Request) {
 		om.reqs.Inc()
 		tenant := r.Header.Get(TenantHeader)
@@ -126,11 +155,36 @@ func (s *Server) route(op string, h func(w *statusWriter, r *http.Request, tenan
 			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("invalid tenant %q", tenant))
 			return
 		}
+		s.m.reqsByTenant.With(tenant).Inc()
+
+		// Root the request span — joined to the caller's trace when a
+		// well-formed traceparent arrived — and announce the trace ID on
+		// the response before any body bytes commit the headers.
+		ctx := r.Context()
+		var sp trace.Span
+		if id, pspan, ok := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader)); ok {
+			ctx, sp = s.tracer.StartRemote(ctx, spanName, id, pspan,
+				trace.Str("tenant", tenant), trace.Str("method", r.Method))
+		} else {
+			ctx, sp = s.tracer.Start(ctx, spanName,
+				trace.Str("tenant", tenant), trace.Str("method", r.Method))
+		}
+		if tid := sp.TraceID(); tid != 0 {
+			w.Header().Set(TraceHeader, tid.String())
+			w.Header().Set(trace.TraceparentHeader, trace.FormatTraceparent(tid, sp.SpanID()))
+		}
+		r = r.WithContext(ctx)
+
 		if ok, wait := s.limiter.allow(tenant, time.Now()); !ok {
 			s.m.rateLimited.Inc()
 			om.errs.Inc()
+			s.m.errsByTenant.With(tenant).Inc()
+			s.feedSLO(tenant, op, http.StatusTooManyRequests, 0, nil)
 			secs := int(wait/time.Second) + 1
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			err := fmt.Errorf("api: tenant %q rate limited, retry in %v", tenant, wait.Round(time.Millisecond))
+			sp.Event("ratelimit.rejected", trace.Int64("retry_after_s", int64(secs)))
+			sp.End(err)
 			writeError(w, http.StatusTooManyRequests, CodeRateLimited,
 				fmt.Sprintf("tenant %q rate limited, retry in %v", tenant, wait.Round(time.Millisecond)))
 			return
@@ -139,10 +193,19 @@ func (s *Server) route(op string, h func(w *statusWriter, r *http.Request, tenan
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		err := h(sw, r, tenant)
-		om.latNs.Observe(float64(time.Since(start).Nanoseconds()))
+		lat := time.Since(start)
+		om.latNs.Observe(float64(lat.Nanoseconds()))
+		s.m.latByTenant.With(tenant).Observe(float64(lat.Nanoseconds()))
 		s.m.inFlight.Add(-1)
+		status := http.StatusOK
+		if err != nil {
+			status, _ = errorStatus(err)
+		}
+		s.feedSLO(tenant, op, status, lat, err)
+		sp.End(err)
 		if err != nil {
 			om.errs.Inc()
+			s.m.errsByTenant.With(tenant).Inc()
 			code, machine := errorStatus(err)
 			if code == http.StatusRequestEntityTooLarge || code == http.StatusInsufficientStorage {
 				s.m.quotaDenied.Inc()
@@ -154,6 +217,30 @@ func (s *Server) route(op string, h func(w *statusWriter, r *http.Request, tenan
 			// short body against the announced Content-Length is the
 			// client's corruption signal; nothing more we can say here.
 		}
+	}
+}
+
+// feedSLO records one finished request into the tenant's sliding-window
+// SLOs: availability counts any server-fault (5xx) as bad, the get
+// latency SLO observes successful read latency against its target, and
+// degraded.reads counts a read the cluster could not satisfy
+// (core.ErrDegraded) as bad.
+func (s *Server) feedSLO(tenant, op string, status int, lat time.Duration, err error) {
+	row := s.slos.Row(tenant)
+	if row == nil {
+		return
+	}
+	if slo := row["availability"]; slo != nil {
+		slo.Record(status < 500)
+	}
+	if op != "get" {
+		return
+	}
+	if slo := row["get.latency"]; slo != nil && err == nil {
+		slo.Observe(float64(lat.Nanoseconds()))
+	}
+	if slo := row["degraded.reads"]; slo != nil {
+		slo.Record(!errors.Is(err, core.ErrDegraded))
 	}
 }
 

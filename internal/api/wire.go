@@ -18,6 +18,11 @@ const TenantHeader = "X-Archive-Tenant"
 // DefaultTenant is the namespace used when no tenant header is sent.
 const DefaultTenant = "default"
 
+// TraceHeader carries the server-side trace ID on every traced
+// response, so a failed request is greppable in the monitor's /traces
+// output. The server also echoes a standard W3C traceparent header.
+const TraceHeader = "X-Archive-Trace"
+
 // PutResult is the body of a successful PUT response.
 type PutResult struct {
 	ID    string `json:"id"`
@@ -80,10 +85,18 @@ type Error struct {
 	Status  int
 	Code    string
 	Message string
+	// TraceID is the server-side trace ID from the response's
+	// X-Archive-Trace header ("" when the server was not tracing); it
+	// makes a failed request greppable in the monitor's /traces output.
+	TraceID string
 }
 
-// Error renders e.g. `api: 404 not_found: object "t/x" not found`.
+// Error renders e.g. `api: 404 not_found: object "t/x" not found
+// (trace 4fa1b2c3d4e5f607)`.
 func (e *Error) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("api: %d %s: %s (trace %s)", e.Status, e.Code, e.Message, e.TraceID)
+	}
 	return fmt.Sprintf("api: %d %s: %s", e.Status, e.Code, e.Message)
 }
 

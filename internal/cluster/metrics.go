@@ -30,6 +30,15 @@ type clusterMetrics struct {
 	short     *obs.Counter // stripe reads that ended below want
 	discardBy []*obs.Counter
 
+	// Per-node dimension, pre-resolved into dense arrays so the stripe
+	// fan-out pays one atomic add per touch: probes launched, shards
+	// discarded, and transient-retry attempts keyed by {node}. The
+	// legacy cluster.fetch.discarded.nodeNN suffix counters above stay —
+	// the fault-injection example and older dashboards read them.
+	probeAt   []*obs.Counter
+	discardAt []*obs.Counter
+	retryAt   []*obs.Counter
+
 	putNs, getNs, deleteNs, fetchNs *obs.Histogram
 }
 
@@ -62,7 +71,33 @@ func newClusterMetrics(reg *obs.Registry, nodes int) *clusterMetrics {
 	for i := range m.discardBy {
 		m.discardBy[i] = reg.Counter(fmt.Sprintf("cluster.fetch.discarded.node%02d", i))
 	}
+
+	probeFam := reg.LabeledCounter("cluster.probe", "node")
+	discardFam := reg.LabeledCounter("cluster.discard", "node")
+	retryFam := reg.LabeledCounter("cluster.retry", "node")
+	if nodes+1 > obs.DefaultMaxSeries {
+		probeFam.SetMaxSeries(nodes + 1)
+		discardFam.SetMaxSeries(nodes + 1)
+		retryFam.SetMaxSeries(nodes + 1)
+	}
+	m.probeAt = make([]*obs.Counter, nodes)
+	m.discardAt = make([]*obs.Counter, nodes)
+	m.retryAt = make([]*obs.Counter, nodes)
+	for i := 0; i < nodes; i++ {
+		label := fmt.Sprintf("%02d", i)
+		m.probeAt[i] = probeFam.With(label)
+		m.discardAt[i] = discardFam.With(label)
+		m.retryAt[i] = retryFam.With(label)
+	}
 	return m
+}
+
+// probedAt attributes one fetch probe to a node.
+func (m *clusterMetrics) probedAt(node int) {
+	m.probes.Inc()
+	if node >= 0 && node < len(m.probeAt) {
+		m.probeAt[node].Inc()
+	}
 }
 
 // discardedAt attributes one validation discard to a node.
@@ -70,6 +105,16 @@ func (m *clusterMetrics) discardedAt(node int) {
 	m.discards.Inc()
 	if node >= 0 && node < len(m.discardBy) {
 		m.discardBy[node].Inc()
+	}
+	if node >= 0 && node < len(m.discardAt) {
+		m.discardAt[node].Inc()
+	}
+}
+
+// retriedAt attributes one transient-retry attempt to a node.
+func (m *clusterMetrics) retriedAt(node int) {
+	if node >= 0 && node < len(m.retryAt) {
+		m.retryAt[node].Inc()
 	}
 }
 

@@ -145,6 +145,12 @@ func (c *Cluster) GetRetryCtx(ctx context.Context, nodeID int, key ShardKey, pol
 	err := RetryTransientCtx(ctx, pol, func() error {
 		var e error
 		sh, e = c.GetCtx(ctx, nodeID, key)
+		if errors.Is(e, ErrTransient) {
+			// Per-node retry attribution: every transient result this
+			// node produced, whether or not the policy has budget to try
+			// again, lands on cluster.retry{node}.
+			c.metrics.retriedAt(nodeID)
+		}
 		return e
 	})
 	return sh, err
@@ -291,7 +297,7 @@ func (c *Cluster) FetchChunkStripeCtx(ctx context.Context, object string, chunk,
 				i := next
 				next++
 				mu.Unlock()
-				m.probes.Inc()
+				m.probedAt(i)
 				pctx, psp := trace.Child(fctx, "cluster.probe",
 					trace.Int("node", i), trace.Int("shard", i))
 				sh, err := c.GetRetryCtx(pctx, i, ShardKey{Object: object, Index: i, Chunk: chunk}, pol)

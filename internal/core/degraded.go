@@ -51,6 +51,12 @@ type vaultMetrics struct {
 	putBytes, getBytes *obs.Histogram
 	encodeMBs          *obs.Histogram
 	decodeMBs          *obs.Histogram
+	// Encoding-labeled op latency: the vault.put.ns / vault.get.ns
+	// families keyed by {encoding}, pre-resolved to this vault's series
+	// so comparing replication vs erasure deployments is one query. The
+	// flat vault.put.ok/.err histograms (fed by the tracer bridge) stay.
+	putNsByEnc *obs.Histogram
+	getNsByEnc *obs.Histogram
 	// lockWaitNs records time spent blocked acquiring an object's lock —
 	// near-zero when traffic spreads across objects (the striped design's
 	// point), visible when workers pile onto one id.
@@ -92,6 +98,8 @@ func newVaultMetrics(reg *obs.Registry, encName string) *vaultMetrics {
 		getBytes:         reg.Histogram("vault.get.bytes", obs.SizeBuckets()),
 		encodeMBs:        reg.Histogram("encode."+slug+".mbps", obs.RateBuckets()),
 		decodeMBs:        reg.Histogram("decode."+slug+".mbps", obs.RateBuckets()),
+		putNsByEnc:       reg.LabeledHistogram("vault.put.ns", obs.LatencyBuckets(), "encoding").With(slug),
+		getNsByEnc:       reg.LabeledHistogram("vault.get.ns", obs.LatencyBuckets(), "encoding").With(slug),
 		lockWaitNs:       reg.Histogram("vault.lock.wait_ns", obs.LatencyBuckets()),
 		readDiscarded:    reg.Counter("vault.read.discarded"),
 		readDegraded:     reg.Counter("vault.read.degraded"),

@@ -136,6 +136,12 @@ func (v *Vault) disperseStream(ctx context.Context, id string, r io.Reader) ([]c
 	stage := v.newStageToken(id)
 	pctx, psp := trace.Child(ctx, "vault.pipeline",
 		trace.Str("object", id), trace.Str("mode", "stream"))
+	// The staging side gets its own cluster.stage span — the same shape
+	// the monolithic disperse has — so a cross-boundary trace shows the
+	// cluster work as one child regardless of which write path ran. It
+	// covers first-stage through commit/abort (staging interleaves with
+	// encoding, so that is its true extent).
+	sctx, ssp := trace.Child(pctx, "cluster.stage", trace.Str("object", id))
 	start := time.Now()
 	h := sha256.New()
 	var total int64
@@ -226,7 +232,7 @@ func (v *Vault) disperseStream(ctx context.Context, id string, r io.Reader) ([]c
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("core: stage %s chunk %d: %w", id, c.idx, err)
 			}
-			if err := v.stageShards(pctx, stage, id, c.idx, c.enc.Shards); err != nil {
+			if err := v.stageShards(sctx, stage, id, c.idx, c.enc.Shards); err != nil {
 				return err
 			}
 			metas = append(metas, chunkMeta{
@@ -246,7 +252,8 @@ func (v *Vault) disperseStream(ctx context.Context, id string, r io.Reader) ([]c
 	)
 	if err != nil {
 		v.Cluster.AbortStage(stage)
-		psp.Event("stage.aborted")
+		ssp.Event("stage.aborted")
+		ssp.End(err)
 		psp.End(err)
 		return nil, nil, 0, err
 	}
@@ -255,20 +262,23 @@ func (v *Vault) disperseStream(ctx context.Context, id string, r io.Reader) ([]c
 	chain, err := tstamp.NewFromDigest(digest, v.IntegrityMode, sig.Ed25519, v.Cluster.Epoch(), v.Group, v.rnd)
 	if err != nil {
 		v.Cluster.AbortStage(stage)
-		psp.Event("stage.aborted")
+		ssp.Event("stage.aborted")
+		ssp.End(err)
 		psp.End(err)
 		return nil, nil, 0, err
 	}
 	n, err := v.Cluster.CommitStage(stage)
 	if err != nil {
 		v.Cluster.AbortStage(stage)
-		psp.Event("stage.aborted")
+		ssp.Event("stage.aborted")
+		ssp.End(err)
 		psp.End(err)
 		return nil, nil, 0, fmt.Errorf("core: commit %s: %w", id, err)
 	}
 	observeRate(v.obsm.pipelineMBs, int(total), time.Since(start))
+	ssp.Event("stage.committed", trace.Int("shards", n))
+	ssp.End(nil)
 	psp.SetAttrs(trace.Int("chunks", len(metas)), trace.Int64("bytes", total))
-	psp.Event("stage.committed", trace.Int("shards", n))
 	psp.End(nil)
 	return metas, chain, total, nil
 }

@@ -284,7 +284,9 @@ func (v *Vault) Put(id string, data []byte) error {
 func (v *Vault) PutContext(ctx context.Context, id string, data []byte) error {
 	ctx, sp := v.tracer.Start(ctx, "vault.put",
 		trace.Str("object", id), trace.Str("encoding", v.Encoding.Name()), trace.Int("bytes", len(data)))
+	start := time.Now()
 	err := v.put(ctx, id, data)
+	v.obsm.putNsByEnc.Observe(float64(time.Since(start).Nanoseconds()))
 	sp.End(err)
 	return err
 }
@@ -447,7 +449,9 @@ func (v *Vault) Get(id string) ([]byte, error) {
 func (v *Vault) GetContext(ctx context.Context, id string) ([]byte, error) {
 	ctx, sp := v.tracer.Start(ctx, "vault.get",
 		trace.Str("object", id), trace.Str("encoding", v.Encoding.Name()))
+	start := time.Now()
 	data, err := v.get(ctx, id)
+	v.obsm.getNsByEnc.Observe(float64(time.Since(start).Nanoseconds()))
 	if err == nil {
 		sp.SetAttrs(trace.Int("bytes", len(data)))
 	}

@@ -1,0 +1,133 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"securearchive/internal/obs"
+)
+
+// Windowed health. The original /healthz judged the degraded-read rate
+// from lifetime counters — bad/reads over the registry's whole history —
+// so one bad hour tripped the check forever: the ratio could only decay
+// asymptotically, never recover. HealthWindows fixes that by
+// delta-sampling the same counters into sliding obs.Windows, so
+// /healthz answers "how are reads going NOW", and a server that rode
+// out an incident goes green again once the window slides past it.
+
+// Defaults for EnableWindowedHealth zero values: a 5-minute window in
+// 10-second buckets, matching the SLO tables.
+const (
+	DefaultHealthBuckets  = 30
+	DefaultHealthInterval = 10 * time.Second
+)
+
+// healthWindows is the sliding state behind windowed /healthz: total
+// reads and degraded-or-failed reads over the last span, fed by
+// delta-sampling the registry's lifetime counters.
+type healthWindows struct {
+	mu    sync.Mutex
+	reads *obs.Window
+	bad   *obs.Window
+	// Baselines for delta sampling: the lifetime totals as of the last
+	// sample. The first sample only primes them — history before
+	// windowing was enabled must not pollute the window.
+	lastReads int64
+	lastBad   int64
+	primed    bool
+}
+
+// EnableWindowedHealth switches /healthz's degraded-read check from
+// lifetime counters to a sliding window of buckets×interval (defaults
+// apply to zero values). The baseline is primed immediately — traffic
+// before this call never enters the window — and every health check
+// takes a fresh delta sample, so /healthz is current without waiting
+// for the next sampler tick; StartHealthSampler just keeps the window
+// fed between checks.
+func (s *Server) EnableWindowedHealth(buckets int, interval time.Duration) {
+	if buckets <= 0 {
+		buckets = DefaultHealthBuckets
+	}
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	s.hw = &healthWindows{
+		reads: obs.NewWindow(buckets, interval, nil),
+		bad:   obs.NewWindow(buckets, interval, nil),
+	}
+	s.SampleHealth()
+}
+
+// SampleHealthAt takes one delta sample of the read counters into the
+// health windows at an explicit clock (tests drive this directly).
+// No-op until EnableWindowedHealth.
+func (s *Server) SampleHealthAt(now time.Time) {
+	hw := s.hw
+	if hw == nil || s.Registry == nil {
+		return
+	}
+	snap := s.Registry.Snapshot()
+	reads := int64(snap.Histograms["vault.get.ok"].Count + snap.Histograms["vault.get.err"].Count)
+	bad := snap.Counters["vault.read.degraded"] + snap.Counters["vault.read.insufficient"]
+
+	hw.mu.Lock()
+	defer hw.mu.Unlock()
+	if hw.primed {
+		// A registry Reset between samples makes the totals go
+		// backwards; re-prime rather than recording a negative delta.
+		if d := reads - hw.lastReads; d > 0 {
+			hw.reads.AddAt(now, d)
+		}
+		if d := bad - hw.lastBad; d > 0 {
+			hw.bad.AddAt(now, d)
+		}
+	}
+	hw.lastReads, hw.lastBad = reads, bad
+	hw.primed = true
+}
+
+// SampleHealth takes one delta sample now.
+func (s *Server) SampleHealth() { s.SampleHealthAt(time.Now()) }
+
+// StartHealthSampler samples the health windows every `every` (the
+// window bucket interval when <= 0) until stop closes. It returns
+// immediately; the caller owns the stop channel's lifetime.
+func (s *Server) StartHealthSampler(stop <-chan struct{}, every time.Duration) {
+	if s.hw == nil {
+		return
+	}
+	if every <= 0 {
+		every = DefaultHealthInterval
+	}
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.SampleHealth()
+			}
+		}
+	}()
+}
+
+// windowedDegraded reports the degraded-read rate over the health
+// window ending at now, after folding in any reads since the last
+// sample. ok=false when windowing is not enabled.
+func (s *Server) windowedDegraded(now time.Time) (rate float64, reads int64, ok bool) {
+	hw := s.hw
+	if hw == nil {
+		return 0, 0, false
+	}
+	s.SampleHealthAt(now)
+	hw.mu.Lock()
+	defer hw.mu.Unlock()
+	reads = hw.reads.CountAt(now)
+	bad := hw.bad.CountAt(now)
+	if reads > 0 {
+		rate = float64(bad) / float64(reads)
+	}
+	return rate, reads, true
+}

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"securearchive/internal/cluster"
 	"securearchive/internal/core"
@@ -63,6 +64,13 @@ type Server struct {
 	Registry   *obs.Registry
 	Tracer     *trace.Tracer
 	Thresholds Thresholds
+	// SLO, when set, serves error-budget burn per subject at /slo
+	// (the api.Server's table via SLOTable(), or any obs.SLOTable).
+	SLO *obs.SLOTable
+
+	// hw, when non-nil (EnableWindowedHealth), replaces the lifetime
+	// degraded-read-rate check with a sliding window; see health.go.
+	hw *healthWindows
 }
 
 // HealthCheck is one /healthz probe result.
@@ -84,7 +92,9 @@ type Health struct {
 //
 //	/metrics       Prometheus text exposition of the registry
 //	/snapshot      the registry snapshot as JSON
-//	/traces        recent traces (?n=, &format=text for timelines)
+//	/traces        recent traces (?n=, &format=text for timelines,
+//	               &which=tail for the retained interesting tail)
+//	/slo           sliding-window SLO compliance and error-budget burn
 //	/healthz       thresholded health checks; 503 when any fail
 //	/debug/pprof/  the standard runtime profiles
 func (s *Server) Handler() http.Handler {
@@ -92,6 +102,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -134,6 +145,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	traces := s.Tracer.Recent(n)
+	if r.URL.Query().Get("which") == "tail" {
+		traces = s.Tracer.Tail(n)
+	}
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if !s.Tracer.Enabled() {
@@ -154,9 +168,24 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}{s.Tracer.Enabled(), s.Tracer.Completed(), traces})
 }
 
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.SLO == nil {
+		http.Error(w, "no SLO table configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.SLO.Report())
+}
+
 // CheckHealth runs the health probes and returns the aggregate. Exported
 // so callers can poll health without going through HTTP.
-func (s *Server) CheckHealth() Health {
+func (s *Server) CheckHealth() Health { return s.CheckHealthAt(time.Now()) }
+
+// CheckHealthAt is CheckHealth at an explicit clock, so tests can walk a
+// windowed server through trip and recovery deterministically.
+func (s *Server) CheckHealthAt(now time.Time) Health {
 	th := s.Thresholds.normalize()
 	var h Health
 	h.Healthy = true
@@ -188,17 +217,25 @@ func (s *Server) CheckHealth() Health {
 	add(backlog)
 
 	degraded := HealthCheck{Name: "degraded.read.rate", Limit: th.MaxDegradedRate, OK: true}
-	if s.Registry != nil {
+	if rate, reads, windowed := s.windowedDegraded(now); windowed {
+		// Sliding-window mode: judge only the last window's reads, so a
+		// server that rode out an incident recovers once it slides past.
+		if reads > 0 {
+			degraded.Value = rate
+			degraded.OK = rate <= th.MaxDegradedRate
+		}
+		degraded.Note = fmt.Sprintf("windowed: %d reads in last %s", reads, s.hw.reads.Span())
+	} else if s.Registry != nil {
 		snap := s.Registry.Snapshot()
 		reads := float64(snap.Histograms["vault.get.ok"].Count + snap.Histograms["vault.get.err"].Count)
 		bad := float64(snap.Counters["vault.read.degraded"] + snap.Counters["vault.read.insufficient"])
 		if reads > 0 {
 			degraded.Value = bad / reads
 			degraded.OK = degraded.Value <= th.MaxDegradedRate
-			if !degraded.OK {
-				degraded.Note = "reads routing around failures faster than scrubbing heals them"
-			}
 		}
+	}
+	if !degraded.OK {
+		degraded.Note = "reads routing around failures faster than scrubbing heals them"
 	}
 	add(degraded)
 	return h

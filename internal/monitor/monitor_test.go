@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"securearchive/internal/cluster"
 	"securearchive/internal/core"
@@ -235,5 +236,89 @@ func TestPprofWired(t *testing.T) {
 	code, body := get(t, s, "/debug/pprof/cmdline")
 	if code != 200 || body == "" {
 		t.Fatalf("pprof cmdline = %d", code)
+	}
+}
+
+// Regression: the lifetime degraded-read check could trip and never
+// recover — once the historical ratio crossed the threshold, no amount
+// of healthy traffic could pull it back under in finite time. Windowed
+// health trips during the incident and goes green again once the window
+// slides past it.
+func TestHealthzWindowedTripAndRecover(t *testing.T) {
+	s, v, c := testServer(t)
+	s.Thresholds.MaxDegradedRate = 0.25
+	s.EnableWindowedHealth(3, 10*time.Second)
+	if err := v.Put("obj", []byte("trip and recover")); err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Unix(1_700_000_000, 0)
+	s.SampleHealthAt(t0) // prime the baseline past the put
+
+	// Incident: half the stripe offline, every read degraded.
+	for i := 0; i < 4; i++ {
+		c.SetOnline(i, false)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := v.Get("obj"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SampleHealthAt(t0.Add(10 * time.Second))
+	if h := s.CheckHealthAt(t0.Add(10 * time.Second)); h.Healthy {
+		t.Fatalf("incident window reports healthy: %+v", h.Checks)
+	}
+
+	// Recovery: nodes back, reads clean again. The lifetime ratio is
+	// still 4 degraded / 8 reads = 0.5 > 0.25 — the old check would stay
+	// tripped forever — but the window only sees the clean reads.
+	for i := 0; i < 4; i++ {
+		c.SetOnline(i, true)
+	}
+	later := t0.Add(50 * time.Second) // incident bucket expired (3×10s window)
+	for i := 0; i < 4; i++ {
+		if _, err := v.Get("obj"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SampleHealthAt(later)
+	h := s.CheckHealthAt(later)
+	if !h.Healthy {
+		t.Fatalf("recovered vault still unhealthy: %+v", h.Checks)
+	}
+	for _, ch := range h.Checks {
+		if ch.Name == "degraded.read.rate" && ch.Value != 0 {
+			t.Fatalf("windowed rate = %v, want 0 after recovery", ch.Value)
+		}
+	}
+
+	// Sanity: the lifetime ratio really would have stayed tripped.
+	snap := s.Registry.Snapshot()
+	reads := float64(snap.Histograms["vault.get.ok"].Count + snap.Histograms["vault.get.err"].Count)
+	bad := float64(snap.Counters["vault.read.degraded"] + snap.Counters["vault.read.insufficient"])
+	if bad/reads <= 0.25 {
+		t.Fatalf("test premise broken: lifetime rate %v under threshold", bad/reads)
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	s, _, _ := testServer(t)
+	if code, _ := get(t, s, "/slo"); code != 404 {
+		t.Fatalf("unconfigured /slo = %d, want 404", code)
+	}
+	tbl := obs.NewSLOTable(obs.DefaultSLOSpecs()...)
+	tbl.SLO("acme", "availability").Record(true)
+	tbl.SLO("acme", "availability").Record(false)
+	s.SLO = tbl
+	code, body := get(t, s, "/slo")
+	if code != 200 {
+		t.Fatalf("/slo = %d:\n%s", code, body)
+	}
+	var rep obs.SLOReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/slo not JSON: %v", err)
+	}
+	if rep.Schema != obs.SLOReportSchema || len(rep.Subjects) != 1 {
+		t.Fatalf("report = %+v", rep)
 	}
 }

@@ -61,18 +61,24 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 type Registry struct {
 	enabled atomic.Bool
 
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu              sync.RWMutex
+	counters        map[string]*Counter
+	gauges          map[string]*Gauge
+	hists           map[string]*Histogram
+	labeledCounters map[string]*LabeledCounter
+	labeledGauges   map[string]*LabeledGauge
+	labeledHists    map[string]*LabeledHistogram
 }
 
 // NewRegistry creates an empty, enabled registry.
 func NewRegistry() *Registry {
 	r := &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:        make(map[string]*Counter),
+		gauges:          make(map[string]*Gauge),
+		hists:           make(map[string]*Histogram),
+		labeledCounters: make(map[string]*LabeledCounter),
+		labeledGauges:   make(map[string]*LabeledGauge),
+		labeledHists:    make(map[string]*LabeledHistogram),
 	}
 	r.enabled.Store(true)
 	return r
@@ -221,5 +227,14 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.reset()
+	}
+	for _, lc := range r.labeledCounters {
+		lc.f.each(func(_ []string, c *Counter) { c.v.Store(0) })
+	}
+	for _, lg := range r.labeledGauges {
+		lg.f.each(func(_ []string, g *Gauge) { g.v.Store(0) })
+	}
+	for _, lh := range r.labeledHists {
+		lh.f.each(func(_ []string, h *Histogram) { h.reset() })
 	}
 }

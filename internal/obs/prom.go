@@ -3,7 +3,6 @@ package obs
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 )
 
@@ -15,37 +14,55 @@ import (
 // shipping raw buckets. Dotted metric names become underscore-separated
 // (vault.get.ok → vault_get_ok); output is sorted by name so scrapes
 // diff cleanly.
+//
+// Labeled families render with a label set per series
+// (api_requests_total{tenant="acme"} 42); label VALUES pass through a
+// backslash escaper (\\, \", \n) per the exposition grammar, since tenant
+// names are caller-controlled. Labeled counters gain the conventional
+// _total suffix — flat counters keep their bare names so pre-existing
+// dashboards don't move.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
-	names := make([]string, 0, len(s.Counters))
-	for name := range s.Counters {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range sortedKeys(s.Counters) {
 		pn := promName(name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 
-	names = names[:0]
-	for name := range s.Gauges {
-		names = append(names, name)
+	for _, name := range sortedKeys(s.LabeledCounters) {
+		fs := s.LabeledCounters[name]
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
+			return err
+		}
+		for _, se := range fs.Series {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabels(fs.Keys, se.Labels, ""), se.Value); err != nil {
+				return err
+			}
+		}
 	}
-	sort.Strings(names)
-	for _, name := range names {
+
+	for _, name := range sortedKeys(s.Gauges) {
 		pn := promName(name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
 
-	names = names[:0]
-	for name := range s.Histograms {
-		names = append(names, name)
+	for _, name := range sortedKeys(s.LabeledGauges) {
+		fs := s.LabeledGauges[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+			return err
+		}
+		for _, se := range fs.Series {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabels(fs.Keys, se.Labels, ""), se.Value); err != nil {
+				return err
+			}
+		}
 	}
-	sort.Strings(names)
-	for _, name := range names {
+
+	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		pn := promName(name)
 		_, err := fmt.Fprintf(w,
@@ -55,7 +72,75 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+
+	for _, name := range sortedKeys(s.LabeledHistograms) {
+		fs := s.LabeledHistograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+			return err
+		}
+		for _, se := range fs.Series {
+			_, err := fmt.Fprintf(w,
+				"%s%s %g\n%s%s %g\n%s%s %g\n%s_sum%s %g\n%s_count%s %d\n",
+				pn, promLabels(fs.Keys, se.Labels, `quantile="0.5"`), se.P50,
+				pn, promLabels(fs.Keys, se.Labels, `quantile="0.95"`), se.P95,
+				pn, promLabels(fs.Keys, se.Labels, `quantile="0.99"`), se.P99,
+				pn, promLabels(fs.Keys, se.Labels, ""), se.Sum,
+				pn, promLabels(fs.Keys, se.Labels, ""), se.Count)
+			if err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// promLabels renders a {k="v",...} label set. extra, when non-empty, is
+// a pre-rendered pair (the summary quantile) appended after the family's
+// own labels.
+func promLabels(keys, values []string, extra string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escaping rules for
+// quoted label values: backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
 }
 
 // promName maps a dotted registry name onto the Prometheus grammar

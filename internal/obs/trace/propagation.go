@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// W3C Trace Context propagation. The archive's traces are 64-bit
+// (splitmix64 IDs); the wire format is the standard 128-bit traceparent
+//
+//	00-<32 hex trace-id>-<16 hex parent-span>-<2 hex flags>
+//
+// so the outbound form zero-pads the high 64 bits and the inbound form
+// takes the low 64 bits (falling back to the high half when the low
+// half is all-zero, so foreign 128-bit IDs still join rather than being
+// dropped). This is what lets a client retry loop, a server handler,
+// and the vault's stripe fan-out land in ONE tree across the HTTP
+// boundary: the client injects, the server parses and roots its half of
+// the trace on the same ID, and the completed halves merge in the ring.
+
+// TraceparentHeader is the W3C propagation header name (HTTP header
+// names are case-insensitive; the spec spells it lowercase).
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders a version-00 traceparent carrying the given
+// trace and parent-span IDs, sampled flag set.
+func FormatTraceparent(id ID, span uint64) string {
+	return fmt.Sprintf("00-0000000000000000%016x-%016x-01", uint64(id), span)
+}
+
+// ParseTraceparent parses a version-00 traceparent. It returns the
+// 64-bit trace ID, the parent span ID, and whether the header was
+// well-formed and usable (version known, IDs non-zero).
+func ParseTraceparent(h string) (ID, uint64, bool) {
+	// 2 (version) + 1 + 32 (trace id) + 1 + 16 (span id) + 1 + 2 (flags)
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return 0, 0, false
+	}
+	if h[0] != '0' || h[1] != '0' { // only version 00 is defined
+		return 0, 0, false
+	}
+	hi, err := strconv.ParseUint(h[3:19], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	lo, err := strconv.ParseUint(h[19:35], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	span, err := strconv.ParseUint(h[36:52], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	if _, err := strconv.ParseUint(h[53:55], 16, 8); err != nil {
+		return 0, 0, false
+	}
+	tid := lo
+	if tid == 0 {
+		tid = hi // foreign 128-bit ID with an all-zero low half
+	}
+	if tid == 0 || span == 0 {
+		return 0, 0, false // all-zero IDs are invalid per spec
+	}
+	return ID(tid), span, true
+}

@@ -104,8 +104,12 @@ type SpanRecord struct {
 	Start   time.Time `json:"start"`
 	DurNs   int64     `json:"dur_ns"`
 	Err     string    `json:"err,omitempty"`
-	Attrs   []Attr    `json:"attrs,omitempty"`
-	Events  []Event   `json:"events,omitempty"`
+	// Remote marks a span whose parent lives in another process (the
+	// server half of a propagated traceparent): Parent is the remote
+	// caller's span ID and may be absent from a server-only trace.
+	Remote bool    `json:"remote,omitempty"`
+	Attrs  []Attr  `json:"attrs,omitempty"`
+	Events []Event `json:"events,omitempty"`
 }
 
 // Attr returns the value of the named attribute and whether it exists.
@@ -132,15 +136,40 @@ type Trace struct {
 	Spans   []*SpanRecord `json:"spans"`
 }
 
-// RootSpan returns the trace's root span (Parent == 0), or nil for a
-// malformed trace.
+// RootSpan returns the trace's root span: the span with Parent == 0,
+// or — for a server-only trace whose root points at a remote parent —
+// the earliest span whose parent is not in the trace. Nil only for an
+// empty trace.
 func (t *Trace) RootSpan() *SpanRecord {
+	byID := make(map[uint64]bool, len(t.Spans))
+	for _, s := range t.Spans {
+		byID[s.SpanID] = true
+	}
+	var fallback *SpanRecord
 	for _, s := range t.Spans {
 		if s.Parent == 0 {
 			return s
 		}
+		if fallback == nil && !byID[s.Parent] {
+			fallback = s
+		}
 	}
-	return nil
+	return fallback
+}
+
+// Interesting reports whether the trace is worth tail-retaining: any
+// span erred, spans or events were dropped, or the whole trace ran at
+// least slowNs.
+func (t *Trace) Interesting(slowNs int64) bool {
+	if t.Dropped > 0 || (slowNs > 0 && t.DurNs >= slowNs) {
+		return true
+	}
+	for _, s := range t.Spans {
+		if s.Err != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // Span returns the span with the given ID, or nil.

@@ -29,9 +29,20 @@ func Timeline(t *Trace) string {
 		fmt.Fprintf(&b, ", %d dropped", t.Dropped)
 	}
 	b.WriteString(")\n")
+	// Spans whose parent is absent from the trace (the remote caller's
+	// span in a server-only half of a propagated trace) render as
+	// top-level rather than silently disappearing.
+	byID := make(map[uint64]bool, len(t.Spans))
+	for _, s := range t.Spans {
+		byID[s.SpanID] = true
+	}
 	children := make(map[uint64][]*SpanRecord, len(t.Spans))
 	for _, s := range t.Spans {
-		children[s.Parent] = append(children[s.Parent], s)
+		parent := s.Parent
+		if !byID[parent] {
+			parent = 0
+		}
+		children[parent] = append(children[parent], s)
 	}
 	for _, kids := range children {
 		sort.SliceStable(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })

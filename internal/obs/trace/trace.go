@@ -53,6 +53,14 @@ const (
 // Recent unless configured otherwise.
 const DefaultRingSize = 64
 
+// Tail-retention defaults: how many "interesting" traces (any span
+// erred, or the trace ran slower than the threshold) survive eviction
+// from the main ring, and what counts as slow.
+const (
+	DefaultTailSize          = 16
+	DefaultSlowTraceDuration = 100 * time.Millisecond
+)
+
 // Tracer creates spans and collects completed traces. Disabled (the
 // default), it costs nothing beyond the flat histogram timing of its
 // registry; see SetEnabled.
@@ -67,14 +75,25 @@ type Tracer struct {
 	hmu   sync.RWMutex
 	hists map[string]*histPair
 
-	// rmu guards the completed-trace ring and the exporter list. It is
-	// taken once per completed trace, not per span.
+	// rmu guards the completed-trace ring, the tail ring, and the
+	// exporter list. It is taken once per completed trace, not per span.
 	rmu       sync.Mutex
 	ring      []*Trace
 	ringCap   int
 	pos       int
 	completed uint64
 	exporters []Exporter
+
+	// tail is the second-chance ring: traces evicted from the main ring
+	// that are interesting (erred or slow) land here instead of
+	// vanishing, so a burst of healthy traffic cannot flush the one
+	// degraded read an operator needs to see. Boring evictions (and
+	// interesting ones falling off the tail itself) bump evicted.
+	tail    []*Trace
+	tailCap int
+	tailPos int
+	slowNs  int64
+	evicted *obs.Counter
 }
 
 type histPair struct{ ok, err *obs.Histogram }
@@ -92,6 +111,20 @@ func WithRingSize(n int) Option {
 	}
 }
 
+// WithTailRetention sizes the tail ring and sets the slow-trace
+// threshold (defaults DefaultTailSize / DefaultSlowTraceDuration; n < 1
+// or slow <= 0 keep the respective default).
+func WithTailRetention(n int, slow time.Duration) Option {
+	return func(t *Tracer) {
+		if n >= 1 {
+			t.tailCap = n
+		}
+		if slow > 0 {
+			t.slowNs = slow.Nanoseconds()
+		}
+	}
+}
+
 // New creates a tracer bridging span durations into reg's latency
 // histograms. Tracing itself starts disabled: until SetEnabled(true),
 // Start records flat histograms only, exactly like obs.Registry.Span.
@@ -100,6 +133,11 @@ func New(reg *obs.Registry, opts ...Option) *Tracer {
 		reg:     reg,
 		hists:   make(map[string]*histPair),
 		ringCap: DefaultRingSize,
+		tailCap: DefaultTailSize,
+		slowNs:  DefaultSlowTraceDuration.Nanoseconds(),
+	}
+	if reg != nil {
+		t.evicted = reg.Counter("obs.trace.evicted")
 	}
 	t.idState.Store(uint64(time.Now().UnixNano()))
 	for _, o := range opts {
@@ -184,9 +222,14 @@ func mix64(z uint64) uint64 {
 // active is one in-flight trace. Spans append themselves on End; the
 // root span's End seals the trace and hands it to the tracer.
 type active struct {
-	t     *Tracer
-	id    ID
-	next  atomic.Uint64 // span ID allocator; 1 is the root
+	t    *Tracer
+	id   ID
+	next atomic.Uint64 // span ID allocator; 1 is the root
+	// root is the span ID whose End seals the trace. Locally rooted
+	// traces use 1; remotely rooted halves (StartRemote) use a random
+	// base so their span IDs cannot collide with the remote caller's
+	// when the two halves merge in the ring.
+	root  uint64
 	drops atomic.Int64
 
 	mu    sync.Mutex
@@ -215,6 +258,16 @@ func (s Span) TraceID() ID {
 		return 0
 	}
 	return s.act.id
+}
+
+// SpanID returns this span's ID within its trace, or 0 when not
+// recording. Propagation uses it as the outbound traceparent's
+// parent-span field.
+func (s Span) SpanID() uint64 {
+	if s.rec == nil {
+		return 0
+	}
+	return s.rec.SpanID
 }
 
 type ctxKey struct{}
@@ -255,10 +308,44 @@ func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context
 		}
 		return ctx, Span{}
 	}
-	a := &active{t: t, id: t.newTraceID()}
+	a := &active{t: t, id: t.newTraceID(), root: 1}
 	a.next.Store(1)
 	now := time.Now()
 	rec := &SpanRecord{TraceID: a.id, SpanID: 1, Name: name, Start: now}
+	if len(attrs) > 0 {
+		rec.Attrs = append(rec.Attrs, attrs...)
+	}
+	s := Span{tr: t, act: a, rec: rec, name: name, start: now}
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartRemote begins a span that continues a trace started elsewhere —
+// the server half of a propagated traceparent. The span roots a local
+// active trace carrying the REMOTE trace ID, with its Parent pointing
+// at the remote caller's span; when both halves complete, the ring
+// merges them into one tree (see complete). Span IDs for the local half
+// are allocated from a random 64-bit base (top bit set) so they cannot
+// collide with the remote side's sequential IDs.
+//
+// If the context already carries a recording span the remote IDs are
+// ignored (the in-process parent wins — it IS the same trace when the
+// caller propagated its own context); with id or parentSpan zero, or
+// tracing disabled, it degrades exactly like Start.
+func (t *Tracer) StartRemote(ctx context.Context, name string, id ID, parentSpan uint64, attrs ...Attr) (context.Context, Span) {
+	if t == nil {
+		return ctx, Span{}
+	}
+	if parent := FromContext(ctx); parent.Recording() {
+		return parent.child(ctx, name, attrs)
+	}
+	if id == 0 || parentSpan == 0 || !t.enabled.Load() {
+		return t.Start(ctx, name, attrs...)
+	}
+	base := mix64(t.idState.Add(0x9E3779B97F4A7C15)) | 1<<63
+	a := &active{t: t, id: id, root: base}
+	a.next.Store(base)
+	now := time.Now()
+	rec := &SpanRecord{TraceID: id, SpanID: base, Parent: parentSpan, Name: name, Start: now, Remote: true}
 	if len(attrs) > 0 {
 		rec.Attrs = append(rec.Attrs, attrs...)
 	}
@@ -344,7 +431,7 @@ func (s Span) End(err error) {
 }
 
 func (a *active) finish(rec *SpanRecord) {
-	root := rec.Parent == 0
+	root := rec.SpanID == a.root
 	a.mu.Lock()
 	if root || len(a.spans) < maxSpansPerTrace {
 		a.spans = append(a.spans, rec)
@@ -379,11 +466,27 @@ func (a *active) finish(rec *SpanRecord) {
 
 func (t *Tracer) complete(tr *Trace) {
 	t.rmu.Lock()
-	if len(t.ring) < t.ringCap {
-		t.ring = append(t.ring, tr)
-	} else {
-		t.ring[t.pos] = tr
-		t.pos = (t.pos + 1) % t.ringCap
+	// Cross-boundary join: if the ring already holds this trace's other
+	// half (the server half of a propagated traceparent completes when
+	// the response is written; the client half when its root span ends),
+	// merge in place instead of occupying a second slot.
+	merged := false
+	for i, prev := range t.ring {
+		if prev != nil && prev.ID == tr.ID {
+			tr = mergeTraces(prev, tr)
+			t.ring[i] = tr
+			merged = true
+			break
+		}
+	}
+	if !merged {
+		if len(t.ring) < t.ringCap {
+			t.ring = append(t.ring, tr)
+		} else {
+			t.retainOrEvict(t.ring[t.pos])
+			t.ring[t.pos] = tr
+			t.pos = (t.pos + 1) % t.ringCap
+		}
 	}
 	t.completed++
 	exps := t.exporters
@@ -391,6 +494,86 @@ func (t *Tracer) complete(tr *Trace) {
 	for _, e := range exps {
 		e.Export(tr)
 	}
+}
+
+// retainOrEvict gives a trace falling off the main ring its second
+// chance: interesting traces (erred or slow) move to the tail ring,
+// boring ones — and interesting ones displaced off the tail — count as
+// evicted. Called with rmu held.
+func (t *Tracer) retainOrEvict(old *Trace) {
+	if old == nil {
+		return
+	}
+	if t.tailCap > 0 && old.Interesting(t.slowNs) {
+		if len(t.tail) < t.tailCap {
+			t.tail = append(t.tail, old)
+			return
+		}
+		displaced := t.tail[t.tailPos]
+		t.tail[t.tailPos] = old
+		t.tailPos = (t.tailPos + 1) % t.tailCap
+		old = displaced
+	}
+	if t.evicted != nil {
+		t.evicted.Inc()
+	}
+}
+
+// Tail returns up to n tail-retained traces (all when n <= 0), oldest
+// first. Shared, read-only, like Recent.
+func (t *Tracer) Tail(n int) []*Trace {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	total := len(t.tail)
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]*Trace, 0, total)
+	for i := 0; i < total; i++ {
+		idx := i
+		if total == t.tailCap {
+			idx = (t.tailPos + i) % t.tailCap
+		}
+		out = append(out, t.tail[idx])
+	}
+	return out[total-n:]
+}
+
+// mergeTraces combines two completed halves of one trace (same ID) into
+// a single tree: spans interleave by start time, the root is the half
+// whose root span has no parent (the originating side), and timing
+// covers both halves.
+func mergeTraces(a, b *Trace) *Trace {
+	spans := make([]*SpanRecord, 0, len(a.Spans)+len(b.Spans))
+	spans = append(spans, a.Spans...)
+	spans = append(spans, b.Spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].SpanID < spans[j].SpanID
+		}
+		return spans[i].Start.Before(spans[j].Start)
+	})
+	m := &Trace{
+		ID:      a.ID,
+		Root:    a.Root,
+		Start:   a.Start,
+		DurNs:   a.DurNs,
+		Dropped: a.Dropped + b.Dropped,
+		Spans:   spans,
+	}
+	if b.Start.Before(m.Start) {
+		m.Start = b.Start
+	}
+	endA := a.Start.Add(time.Duration(a.DurNs))
+	endB := b.Start.Add(time.Duration(b.DurNs))
+	if endB.After(endA) {
+		endA = endB
+	}
+	m.DurNs = endA.Sub(m.Start).Nanoseconds()
+	if rs := m.RootSpan(); rs != nil {
+		m.Root = rs.Name
+	}
+	return m
 }
 
 // observeSpan bridges a span duration into the flat registry: the same
