@@ -44,6 +44,8 @@ func cmdBench(args []string) {
 	scrubW := fs.Float64("scrub", 0.10, "scrub weight in the op mix")
 	shared := fs.Bool("shared", false, "collide workers on a shared id set (contention-heavy variant)")
 	batch := fs.Bool("batch", false, "route puts through a shared group-commit batcher (small-object path)")
+	skew := fs.Float64("skew", 0, "zipfian read skew s (> 1) aiming gets at a hot set; 0 = uniform")
+	cacheBytes := fs.Int64("cache-bytes", 0, "decoded-object read cache budget in bytes (0 = cache off)")
 	offline := fs.Int("offline", 0, "nodes taken offline for the whole run")
 	transient := fs.Float64("transient", 0, "per-op transient fault probability")
 	corrupt := fs.Float64("corrupt", 0, "per-read shard corruption probability")
@@ -71,6 +73,7 @@ func cmdBench(args []string) {
 		Seed:        *seed,
 		SharedIDs:   *shared,
 		Batched:     *batch,
+		ReadSkew:    *skew,
 	}
 	if *storeKind != store.BackendMem && *storeKind != store.BackendDisk {
 		fatal(fmt.Errorf("bench: unknown -store backend %q", *storeKind))
@@ -114,7 +117,11 @@ func cmdBench(args []string) {
 				CorruptProb:   *corrupt,
 			}})
 		}
-		v, err := core.NewVault(c, enc, core.WithGroup(group.Test()), core.WithRegistry(reg))
+		vopts := []core.VaultOption{core.WithGroup(group.Test()), core.WithRegistry(reg)}
+		if *cacheBytes > 0 {
+			vopts = append(vopts, core.WithReadCache(*cacheBytes))
+		}
+		v, err := core.NewVault(c, enc, vopts...)
 		return v, reg, err
 	}
 	runs, err := workload.SweepWorkers(workers, cfg, mk)
@@ -135,13 +142,13 @@ func cmdBench(args []string) {
 		return
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "W\tops\tops/s\tput MB/s\tget MB/s\tput p50/p99 (µs)\tget p50/p99 (µs)\tlock p99 (µs)\terrs\n")
+	fmt.Fprintf(w, "W\tops\tops/s\tput MB/s\tget MB/s\tput p50/p99 (µs)\tget p50/p99 (µs)\tlock p99 (µs)\thit%%\terrs\n")
 	for _, r := range runs {
-		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.1f\t%.1f\t%.0f/%.0f\t%.0f/%.0f\t%.0f\t%d\n",
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.1f\t%.1f\t%.0f/%.0f\t%.0f/%.0f\t%.0f\t%.0f\t%d\n",
 			r.Workers, r.Ops, r.OpsPerSec, r.PutMBPerSec, r.GetMBPerSec,
 			r.PutLatency.P50Ns/1e3, r.PutLatency.P99Ns/1e3,
 			r.GetLatency.P50Ns/1e3, r.GetLatency.P99Ns/1e3,
-			r.LockWaitP99Ns/1e3, r.Errors)
+			r.LockWaitP99Ns/1e3, 100*r.CacheHitRatio, r.Errors)
 	}
 	w.Flush()
 	if len(workers) > 1 {

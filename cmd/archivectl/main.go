@@ -10,8 +10,8 @@
 //	archivectl info  -manifest ./store/secret.pdf.manifest.json
 //	archivectl scrub -manifest ./store/secret.pdf.manifest.json [-repair]
 //	archivectl stats -encoding erasure -n 8 -t 4 -objects 32 [-offline 2] [-transient 0.2]
-//	archivectl serve -encoding erasure -n 8 -t 4 [-offline 2] [-transient 0.2] [-addr 127.0.0.1:8080]
-//	archivectl bench -encoding erasure -n 8 -t 4 -workers 1,4,16 -ops 256 [-batch] [-offline 1] [-transient 0.1] [-store disk [-store-dir DIR] [-fsync commit|always|never]]
+//	archivectl serve -encoding erasure -n 8 -t 4 [-offline 2] [-transient 0.2] [-addr 127.0.0.1:8080] [-cache-bytes 67108864]
+//	archivectl bench -encoding erasure -n 8 -t 4 -workers 1,4,16 -ops 256 [-batch] [-skew 1.1 -cache-bytes 1048576] [-offline 1] [-transient 0.1] [-store disk [-store-dir DIR] [-fsync commit|always|never]]
 //
 // Encodings: replication, erasure, aes, cascade, entropic, aont, shamir,
 // packed, lrss. After put, delete up to n−min node directories and get

@@ -63,6 +63,8 @@ func cmdServe(args []string) {
 	burst := fs.Float64("burst", 0, "rate limiter burst (default: max(1, rate))")
 	quotaBytes := fs.Int64("quota-bytes", 0, "per-tenant byte quota (0 = unlimited)")
 	quotaObjects := fs.Int64("quota-objects", 0, "per-tenant object quota (0 = unlimited)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "decoded-object read cache budget in bytes (0 = cache off)")
+	cacheShare := fs.Float64("cache-share", core.DefaultCacheTenantShare, "max fraction of the read cache one tenant may occupy")
 	fs.Parse(args)
 
 	enc, err := buildEncoding(*encName, *n, *t, *k)
@@ -80,7 +82,11 @@ func cmdServe(args []string) {
 		defer f.Close()
 		tr.AddExporter(trace.NewJSONL(f))
 	}
-	v, err := core.NewVault(c, enc, core.WithGroup(group.Test()))
+	vopts := []core.VaultOption{core.WithGroup(group.Test())}
+	if *cacheBytes > 0 {
+		vopts = append(vopts, core.WithReadCache(*cacheBytes), core.WithCacheTenantShare(*cacheShare))
+	}
+	v, err := core.NewVault(c, enc, vopts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	papereval [-figure1] [-table1] [-reencrypt] [-renewal] [-advantage] [-kernels] [-obs] [-saturate] [-all]
+//	papereval [-figure1] [-table1] [-reencrypt] [-renewal] [-advantage] [-kernels] [-obs] [-saturate] [-saturate-read] [-all]
 //
 // -kernels measures the GF(256) kernel and Reed-Solomon pipeline
 // throughput on the local machine and re-derives the §3.2 campaign
@@ -37,6 +37,11 @@
 // pointed at a live archive service (internal/api) over loopback HTTP,
 // with streaming uploads and downloads crossing the wire — the full
 // service-stack tax measured against the in-process curves.
+//
+// -saturate-read adds a read_cache section: a pure-Get zipfian sweep
+// (skews 1.1/1.5/2.0) run twice — with and without the decoded-object
+// read cache — so the hot-set hit ratio and the cached/uncached
+// throughput multiple are measured rather than asserted.
 package main
 
 import (
@@ -75,11 +80,12 @@ func main() {
 	satStore := flag.String("saturate-store", "mem", "storage backend for the -saturate sweeps (mem|disk)")
 	satDisk := flag.Bool("saturate-disk", false, "run the fsync-backed mem-vs-disk sweep (disk section of -saturate-out)")
 	satNet := flag.Bool("saturate-net", false, "run the loopback HTTP service sweep (network section of -saturate-out)")
+	satRead := flag.Bool("saturate-read", false, "run the zipfian cached-vs-uncached read sweep (read_cache section of -saturate-out)")
 	all := flag.Bool("all", false, "run everything")
 	objKiB := flag.Int("obj", 256, "object size in KiB for measurements")
 	flag.Parse()
 
-	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench && !*saturate && !*satSmall && !*satDisk && !*satNet {
+	if !*figure1 && !*table1 && !*reencrypt && !*renewal && !*adv && !*kernels && !*obsBench && !*saturate && !*satSmall && !*satDisk && !*satNet && !*satRead {
 		*all = true
 	}
 	ran := false
@@ -111,8 +117,8 @@ func main() {
 		runObs(*obsOut, *objKiB)
 		ran = true
 	}
-	if *saturate || *satSmall || *satDisk || *satNet {
-		runSaturate(*satOut, *satEnc, *satStore, *satFaults, *satOps, *satObjKiB, *saturate, *satSmall, *satDisk, *satNet)
+	if *saturate || *satSmall || *satDisk || *satNet || *satRead {
+		runSaturate(*satOut, *satEnc, *satStore, *satFaults, *satOps, *satObjKiB, *saturate, *satSmall, *satDisk, *satNet, *satRead)
 		ran = true
 	}
 	if !ran {

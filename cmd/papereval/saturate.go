@@ -53,6 +53,36 @@ type saturateReport struct {
 	// Network is the loopback HTTP service sweep written by
 	// -saturate-net.
 	Network *networkSection `json:"network,omitempty"`
+	// ReadCache is the skewed-read cached-vs-uncached sweep written by
+	// -saturate-read.
+	ReadCache *readCacheSection `json:"read_cache,omitempty"`
+}
+
+// readCacheSection is the -saturate-read result: a read-only zipfian
+// workload over a preloaded set, swept at several skews with the
+// decoded-object read cache off and on (cache sized to half the working
+// set, so residency is earned by the admission policy, not given). The
+// acceptance gate reads CachedX16 at skew 1.1: cached read ops/s over
+// uncached at W=16 (≥ 2 expected — a hit skips the stripe fetch, the
+// decode and the chain verify entirely).
+type readCacheSection struct {
+	Encoding    string          `json:"encoding"`
+	ObjectBytes int             `json:"object_bytes"`
+	TotalOps    int             `json:"total_ops"`
+	Preload     int             `json:"preload"`
+	CacheBytes  int64           `json:"cache_bytes"`
+	Skews       []readCacheSkew `json:"skews"`
+}
+
+// readCacheSkew is one skew level's cached-vs-uncached worker sweep.
+type readCacheSkew struct {
+	Skew     float64                      `json:"skew"`
+	Uncached []*workload.SaturationResult `json:"uncached"`
+	Cached   []*workload.SaturationResult `json:"cached"`
+	// CachedX16 is cached read ops/s over uncached read ops/s at W=16;
+	// HitRatio16 is the cached run's hit ratio there.
+	CachedX16  float64 `json:"cached_x_at_w16"`
+	HitRatio16 float64 `json:"hit_ratio_at_w16"`
 }
 
 // networkSection is the -saturate-net result: the closed-loop driver
@@ -159,7 +189,7 @@ func openBenchCluster(backend, root string, n int) (*cluster.Cluster, error) {
 // main per-encoding sweep; withSmall appends the batched-vs-unbatched
 // 4 KiB small-object sweep; withDisk appends the fsync-backed
 // mem-vs-disk comparison.
-func runSaturate(outPath, encFilter, storeBackend string, withFaults bool, totalOps, objKiB int, withMain, withSmall, withDisk, withNet bool) {
+func runSaturate(outPath, encFilter, storeBackend string, withFaults bool, totalOps, objKiB int, withMain, withSmall, withDisk, withNet, withRead bool) {
 	if storeBackend == "" {
 		storeBackend = store.BackendMem
 	}
@@ -278,6 +308,10 @@ func runSaturate(outPath, encFilter, storeBackend string, withFaults bool, total
 
 	if withNet {
 		rep.Network = runNetSweep(totalOps, objBytes)
+	}
+
+	if withRead {
+		rep.ReadCache = runReadCacheSweep(storeBackend, root, totalOps, objBytes)
 	}
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -508,5 +542,109 @@ func runNetSweep(totalOps, objBytes int) *networkSection {
 	}
 	w.Flush()
 	fmt.Printf("network scaling at W=16 over W=1: %.2fx\n", sec.ScalingX16v1)
+	return sec
+}
+
+// readCacheSkews are the zipfian skew levels the -saturate-read sweep
+// measures: barely-skewed (the gate's level), moderately hot, and
+// pathologically hot.
+var readCacheSkews = []float64{1.1, 1.5, 2.0}
+
+// readCacheWorkers are the concurrency levels for -saturate-read; the
+// gate compares cached vs uncached at 16.
+var readCacheWorkers = []int{1, 16}
+
+// runReadCacheSweep measures the hot-object read cache: a pure-Get
+// zipfian workload over 64 preloaded objects, with the cache budgeted at
+// HALF the working set so the admission filter and SLRU eviction decide
+// who stays resident. Each skew level runs the same sweep uncached and
+// cached; every Get verifies its payload, so a cache serving stale or
+// cross-wired bytes shows up as errors, not just as a soft number.
+func runReadCacheSweep(storeBackend, root string, totalOps, objBytes int) *readCacheSection {
+	fmt.Println("=== read-cache sweep (zipfian gets, cached vs uncached) ===")
+	enc := core.Erasure{K: 4, N: 8}
+	const preload = 64
+	// Enough ops that the preload's compulsory misses don't drown the
+	// steady state at the default -saturate-ops.
+	readOps := totalOps
+	if readOps < 960 {
+		readOps = 960
+	}
+	cacheBytes := int64(objBytes) * preload / 2
+	sec := &readCacheSection{
+		Encoding:    enc.Name(),
+		ObjectBytes: objBytes,
+		TotalOps:    readOps,
+		Preload:     preload,
+		CacheBytes:  cacheBytes,
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "skew\tcache\tW\tread ops/s\tget p99 (µs)\thit%%\terrs\n")
+	for _, skew := range readCacheSkews {
+		cfg := workload.SaturationConfig{
+			TotalOps:    readOps,
+			ObjectBytes: objBytes,
+			Preload:     preload,
+			Mix:         workload.OpMix{Get: 1},
+			Seed:        1,
+			ReadSkew:    skew,
+		}
+		rs := readCacheSkew{Skew: skew}
+		for _, cached := range []bool{false, true} {
+			cached := cached
+			mk := func() (*core.Vault, *obs.Registry, error) {
+				reg := obs.NewRegistry()
+				c, err := openBenchCluster(storeBackend, root, 8)
+				if err != nil {
+					return nil, nil, err
+				}
+				c.UseRegistry(reg)
+				opts := []core.VaultOption{core.WithGroup(group.Test()), core.WithRegistry(reg)}
+				if cached {
+					opts = append(opts, core.WithReadCache(cacheBytes))
+				}
+				v, err := core.NewVault(c, enc, opts...)
+				return v, reg, err
+			}
+			runs, err := workload.SweepWorkers(readCacheWorkers, cfg, mk)
+			if err != nil {
+				fatal(err)
+			}
+			mode := "off"
+			if cached {
+				mode = "on"
+				rs.Cached = runs
+			} else {
+				rs.Uncached = runs
+			}
+			for _, r := range runs {
+				fmt.Fprintf(w, "%.1f\t%s\t%d\t%.0f\t%.0f\t%.0f\t%d\n",
+					skew, mode, r.Workers, r.OpsPerSec,
+					r.GetLatency.P99Ns/1e3, 100*r.CacheHitRatio, r.Errors)
+			}
+		}
+		var un, ca float64
+		for _, r := range rs.Uncached {
+			if r.Workers == 16 {
+				un = r.OpsPerSec
+			}
+		}
+		for _, r := range rs.Cached {
+			if r.Workers == 16 {
+				ca = r.OpsPerSec
+				rs.HitRatio16 = r.CacheHitRatio
+			}
+		}
+		if un > 0 {
+			rs.CachedX16 = ca / un
+		}
+		sec.Skews = append(sec.Skews, rs)
+	}
+	w.Flush()
+	for _, rs := range sec.Skews {
+		fmt.Printf("skew %.1f: cached/uncached at W=16: %.2fx (hit ratio %.2f)\n",
+			rs.Skew, rs.CachedX16, rs.HitRatio16)
+	}
+	fmt.Println("gate: ≥2x at skew 1.1")
 	return sec
 }

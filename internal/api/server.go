@@ -462,11 +462,17 @@ func (s *Server) handleList(w *statusWriter, r *http.Request, tenant string) err
 func (s *Server) handleUsage(w *statusWriter, r *http.Request, tenant string) error {
 	q := s.quotas.quota(tenant)
 	u := s.quotas.usage(tenant)
-	return writeJSON(w, http.StatusOK, UsageResult{
+	res := UsageResult{
 		Tenant:     tenant,
 		Bytes:      u.bytes.Load() + u.inflight.Load(),
 		Objects:    u.objects.Load(),
 		MaxBytes:   q.MaxBytes,
 		MaxObjects: q.MaxObjects,
-	})
+	}
+	// Read-cache residency: objects are keyed "<tenant>/<id>", which is
+	// exactly the owner prefix the cache accounts by.
+	if st := s.vault.CacheStats(); st != nil {
+		res.CacheBytes = st.OwnerBytes[tenant]
+	}
+	return writeJSON(w, http.StatusOK, res)
 }

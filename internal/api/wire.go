@@ -69,6 +69,11 @@ type UsageResult struct {
 	Objects    int64  `json:"objects"`
 	MaxBytes   int64  `json:"max_bytes,omitempty"`
 	MaxObjects int64  `json:"max_objects,omitempty"`
+	// CacheBytes is the tenant's current residency in the vault's
+	// decoded-object read cache (0 when the server runs without one).
+	// Informational, not quota-charged: cached bytes are a transient
+	// copy the vault may evict at any time.
+	CacheBytes int64 `json:"cache_bytes,omitempty"`
 }
 
 // errorBody is the JSON envelope every non-2xx response carries.

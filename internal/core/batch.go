@@ -361,6 +361,7 @@ func (v *Vault) flushBatch(ctx context.Context, batch []*pendingPut) error {
 		obj.batch = bs
 		obj.batchIndex = i
 		obj.live.Store(true)
+		v.cacheInvalidate(p.id) // defensive, as in put
 		v.obsm.putBytes.Observe(float64(len(p.data)))
 	}
 	v.obsm.batchPuts.Add(int64(len(members)))
@@ -487,6 +488,12 @@ func (v *Vault) renewBatchMember(ctx context.Context, id string, obj *vaultObjec
 	if err := v.disperse(ctx, bs.id, enc); err != nil {
 		return fmt.Errorf("core: renewal of %s rolled back: %w", bs.id, err)
 	}
+	// The blob rewrite leaves every member's plaintext unchanged, but the
+	// mutator rule is unconditional: drop the renewing member's entry.
+	// (Batchmates' entries stay — their bytes and their stripe's epoch
+	// semantics are untouched by construction; only this member's write
+	// lock is held.)
+	v.cacheInvalidate(id)
 	bs.enc.ClientSecret = enc.ClientSecret
 	bs.enc.PublicMeta = enc.PublicMeta
 	bs.enc.PlainLen = enc.PlainLen
@@ -549,6 +556,7 @@ func (v *Vault) scrubBatchMember(ctx context.Context, id string, obj *vaultObjec
 	if err := v.disperse(ctx, bs.id, enc); err != nil {
 		return rep, fmt.Errorf("core: scrub %s: rewrite rolled back: %w", id, err)
 	}
+	v.cacheInvalidate(id) // see the renewBatchMember note
 	bs.enc.ClientSecret = enc.ClientSecret
 	bs.enc.PublicMeta = enc.PublicMeta
 	bs.enc.PlainLen = enc.PlainLen

@@ -88,6 +88,20 @@ type vaultMetrics struct {
 	batchFlushes *obs.Counter
 	batchMembers *obs.Histogram
 	batchWaitNs  *obs.Histogram
+
+	// Read cache & prefetch (cache.go, prefetch.go): the vault.cache.*
+	// families are labeled by encoding so hit ratios compare across
+	// deployments; the bytes gauge tracks residency against the budget
+	// and the hit histogram is the served-from-memory latency the
+	// saturation sweep reports p99 over.
+	cacheHit       *obs.Counter
+	cacheMiss      *obs.Counter
+	cacheEvict     *obs.Counter
+	cacheReject    *obs.Counter
+	cacheBytes     *obs.Gauge
+	cacheHitNs     *obs.Histogram
+	prefetchIssued *obs.Counter
+	prefetchWasted *obs.Counter
 }
 
 func newVaultMetrics(reg *obs.Registry, encName string) *vaultMetrics {
@@ -115,6 +129,14 @@ func newVaultMetrics(reg *obs.Registry, encName string) *vaultMetrics {
 		batchFlushes:     reg.Counter("vault.batch.flushes"),
 		batchMembers:     reg.Histogram("vault.batch.members", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
 		batchWaitNs:      reg.Histogram("vault.batch.wait_ns", obs.LatencyBuckets()),
+		cacheHit:         reg.LabeledCounter("vault.cache.hit", "encoding").With(slug),
+		cacheMiss:        reg.LabeledCounter("vault.cache.miss", "encoding").With(slug),
+		cacheEvict:       reg.LabeledCounter("vault.cache.evict", "encoding").With(slug),
+		cacheReject:      reg.LabeledCounter("vault.cache.admit_reject", "encoding").With(slug),
+		cacheBytes:       reg.Gauge("vault.cache.bytes"),
+		cacheHitNs:       reg.LabeledHistogram("vault.cache.hit.ns", obs.LatencyBuckets(), "encoding").With(slug),
+		prefetchIssued:   reg.LabeledCounter("vault.cache.prefetch.issued", "encoding").With(slug),
+		prefetchWasted:   reg.LabeledCounter("vault.cache.prefetch.wasted", "encoding").With(slug),
 	}
 }
 

@@ -98,6 +98,7 @@ func (v *Vault) putChunked(ctx context.Context, id string, data []byte) error {
 	obj.width = len(metas[0].digests)
 	obj.chain = chain
 	obj.live.Store(true)
+	v.cacheInvalidate(id) // defensive, as in put
 	obj.mu.Unlock()
 	v.obsm.pipelinePuts.Inc()
 	return nil
@@ -291,6 +292,7 @@ func (v *Vault) scrubChunked(ctx context.Context, id string, obj *vaultObject) (
 		v.Cluster.AbortStage(stage)
 		return rep, fmt.Errorf("core: scrub %s: rewrite rolled back: %w", id, err)
 	}
+	v.cacheInvalidate(id) // stripe rewritten; see the scrubObject note
 	for ci, cm := range newMetas {
 		obj.chunks[ci] = cm
 		// A partial rewrite can narrow only its own chunks; widen the

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"sync"
+
+	"securearchive/internal/cluster"
+)
+
+// Sequential-stripe prefetch for scan-style chunked reads: while the
+// consumer decodes, digests, and writes chunk i, the stripe fetches for
+// chunks i+1 … i+window are already in flight. The fetch — per-node
+// probes with retry backoff — is the read pipeline's I/O half; without
+// prefetch it serialises strictly with the CPU half (decode + SHA-256),
+// exactly the stall the write side already removed with its
+// encode→stage pipeline (pipeline.go).
+//
+// Lifetime discipline matters more than speed here:
+//
+//   - Every fetch goroutine runs while the consumer still holds the
+//     object's read lock (readChunkedTo defers stop() before the lock is
+//     released), so prefetchers can read obj.chunks without their own
+//     locking and never outlive the object state they were built over.
+//   - Each result channel is buffered, so a fetch goroutine can always
+//     deliver and exit — an abandoned prefetch never leaks a goroutine.
+//   - stop() cancels the prefetch context and waits for every in-flight
+//     fetch; a ctx cancellation from the caller propagates into
+//     FetchChunkStripeCtx the same way it does on the sequential path.
+//
+// Results are handed to the consumer in chunk order, which then applies
+// the exact same discard/cancel/degraded handling the sequential loop
+// had — prefetching changes when fetches start, never how their results
+// are interpreted.
+
+// DefaultPrefetchWindow is how many chunk stripes a chunked read keeps
+// in flight beyond the one being consumed. 2 overlaps fetch and decode
+// without tripling the read's transient memory (each in-flight chunk
+// holds one stripe's shards).
+const DefaultPrefetchWindow = 2
+
+// WithPrefetchWindow sets how many chunk-stripe fetches a chunked read
+// keeps in flight ahead of decode (DefaultPrefetchWindow otherwise).
+// n <= 0 disables prefetch: chunks fetch strictly one at a time.
+func WithPrefetchWindow(n int) VaultOption {
+	return func(v *Vault) { v.prefetchWindow = n }
+}
+
+// prefetcher drives one chunked read's look-ahead. It is used by a
+// single consumer goroutine; the mutable cursors (nextLaunch, consumed)
+// are consumer-private, and the fetch goroutines communicate only
+// through their per-chunk buffered channels.
+type prefetcher struct {
+	v      *Vault
+	ctx    context.Context
+	cancel context.CancelFunc
+	id     string
+	obj    *vaultObject
+	n, min int
+
+	window     int
+	results    []chan *cluster.StripeResult
+	nextLaunch int
+	consumed   int
+	issued     int64 // fetches launched ahead of the consumer's cursor
+	wg         sync.WaitGroup
+}
+
+// newPrefetcher builds the look-ahead driver for one read of obj's
+// chunks. The caller must hold obj.mu (read side) until stop returns.
+func (v *Vault) newPrefetcher(ctx context.Context, id string, obj *vaultObject) *prefetcher {
+	n, min := v.Encoding.Shards()
+	pctx, cancel := context.WithCancel(ctx)
+	return &prefetcher{
+		v:       v,
+		ctx:     pctx,
+		cancel:  cancel,
+		id:      id,
+		obj:     obj,
+		n:       n,
+		min:     min,
+		window:  v.prefetchWindow,
+		results: make([]chan *cluster.StripeResult, len(obj.chunks)),
+	}
+}
+
+// launch starts the fetch for chunk ci if it is not already in flight.
+func (pf *prefetcher) launch(ci int) {
+	if ci >= len(pf.results) || pf.results[ci] != nil {
+		return
+	}
+	ch := make(chan *cluster.StripeResult, 1)
+	pf.results[ci] = ch
+	if ci > pf.consumed {
+		pf.issued++
+	}
+	cm := &pf.obj.chunks[ci]
+	pf.wg.Add(1)
+	go func() {
+		defer pf.wg.Done()
+		ch <- pf.v.Cluster.FetchChunkStripeCtx(pf.ctx, pf.id, ci, pf.n, pf.min, pf.v.retry, func(i int, data []byte) bool {
+			return i < len(cm.digests) && sha256.Sum256(data) == cm.digests[i]
+		})
+	}()
+}
+
+// next returns chunk ci's stripe result, launching it and the window
+// ahead of it first, and blocking until the fetch delivers.
+func (pf *prefetcher) next(ci int) *cluster.StripeResult {
+	pf.consumed = ci
+	hi := ci + pf.window
+	if hi > len(pf.results)-1 {
+		hi = len(pf.results) - 1
+	}
+	for i := ci; i <= hi; i++ {
+		pf.launch(i)
+	}
+	return <-pf.results[ci]
+}
+
+// stop cancels outstanding fetches and waits for every goroutine to
+// exit, then reports how many issued look-aheads were consumed vs
+// wasted (fetched or aborted for a consumer that never arrived —
+// early-error or cancelled reads). Safe to call more than once is not
+// needed; readChunkedTo defers exactly one call.
+func (pf *prefetcher) stop() (issued, wasted int64) {
+	pf.cancel()
+	pf.wg.Wait()
+	issued = pf.issued
+	for i := pf.consumed + 1; i < len(pf.results); i++ {
+		if pf.results[i] != nil {
+			wasted++
+		}
+	}
+	return issued, wasted
+}

@@ -191,6 +191,10 @@ func (v *Vault) scrubObject(ctx context.Context, id string, obj *vaultObject) (*
 	if err := v.disperse(ctx, id, enc); err != nil {
 		return rep, fmt.Errorf("core: scrub %s: rewrite rolled back: %w", id, err)
 	}
+	// The repair rewrote the stripe; the cached plaintext is still
+	// byte-identical, but dropping it keeps the mutator rule — every
+	// stripe rewrite invalidates — unconditional and easy to audit.
+	v.cacheInvalidate(id)
 	obj.enc.ClientSecret = enc.ClientSecret
 	obj.enc.PublicMeta = enc.PublicMeta
 	obj.enc.PlainLen = enc.PlainLen

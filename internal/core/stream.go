@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"securearchive/internal/cluster"
 	"securearchive/internal/obs/trace"
 	"securearchive/internal/parallel"
 	"securearchive/internal/sig"
@@ -116,6 +118,7 @@ func (v *Vault) putReader(ctx context.Context, id string, r io.Reader) (int64, e
 	obj.width = len(metas[0].digests)
 	obj.chain = chain
 	obj.live.Store(true)
+	v.cacheInvalidate(id) // defensive, as in put
 	obj.mu.Unlock()
 	v.obsm.putBytes.Observe(float64(total))
 	v.obsm.pipelinePuts.Inc()
@@ -311,12 +314,41 @@ func (v *Vault) readTo(ctx context.Context, id string, w io.Writer) (int64, erro
 	if !obj.live.Load() {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	// Cache probe for every shape (monolithic, batch member, chunked): a
+	// hit streams the immutable cached copy straight to w with no fetch,
+	// no decode, and no extra allocation. Epoch capture mirrors get().
+	epoch := v.Cluster.Epoch()
+	if v.cache != nil {
+		if cached, ok := v.cacheGet(ctx, id, epoch); ok {
+			n, err := w.Write(cached)
+			if err != nil {
+				return int64(n), fmt.Errorf("core: get %s: write: %w", id, err)
+			}
+			return int64(n), nil
+		}
+	}
 	if obj.batch == nil && len(obj.chunks) > 0 {
+		// Small chunked objects are worth caching, but the streaming read
+		// materialises nothing by design — tee into a buffer only when the
+		// whole object fits a cache entry anyway, and insert only after
+		// the chain verified the complete read.
+		if v.cache != nil && int64(obj.enc.PlainLen) <= v.cache.maxEntry {
+			var buf bytes.Buffer
+			buf.Grow(obj.enc.PlainLen)
+			n, err := v.readChunkedTo(ctx, id, obj, io.MultiWriter(w, &buf))
+			if err == nil {
+				v.cache.put(id, epoch, buf.Bytes())
+			}
+			return n, err
+		}
 		return v.readChunkedTo(ctx, id, obj, w)
 	}
 	data, err := v.readObject(ctx, id, obj)
 	if err != nil {
 		return 0, err
+	}
+	if v.cache != nil {
+		v.cache.put(id, epoch, data)
 	}
 	n, err := w.Write(data)
 	if err != nil {
@@ -339,11 +371,29 @@ func (v *Vault) readChunkedTo(ctx context.Context, id string, obj *vaultObject, 
 	var total int64
 	dctx, dsp := trace.Child(ctx, "vault.decode", trace.Int("chunks", len(obj.chunks)))
 	decStart := time.Now()
+	// Prefetch overlaps the next window of stripe fetches with this
+	// chunk's decode/digest/write; the deferred stop runs before the
+	// caller releases obj.mu, so look-ahead goroutines never outlive the
+	// object state they read (see prefetch.go).
+	var pf *prefetcher
+	if v.prefetchWindow > 0 && len(obj.chunks) > 1 {
+		pf = v.newPrefetcher(dctx, id, obj)
+		defer func() {
+			issued, wasted := pf.stop()
+			v.obsm.prefetchIssued.Add(issued)
+			v.obsm.prefetchWasted.Add(wasted)
+		}()
+	}
 	for ci := range obj.chunks {
 		cm := &obj.chunks[ci]
-		res := v.Cluster.FetchChunkStripeCtx(dctx, id, ci, n, min, v.retry, func(i int, data []byte) bool {
-			return i < len(cm.digests) && sha256.Sum256(data) == cm.digests[i]
-		})
+		var res *cluster.StripeResult
+		if pf != nil {
+			res = pf.next(ci)
+		} else {
+			res = v.Cluster.FetchChunkStripeCtx(dctx, id, ci, n, min, v.retry, func(i int, data []byte) bool {
+				return i < len(cm.digests) && sha256.Sum256(data) == cm.digests[i]
+			})
+		}
 		if len(res.Discarded) > 0 {
 			v.obsm.readDiscarded.Add(int64(len(res.Discarded)))
 			v.markDirty(id)

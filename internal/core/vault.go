@@ -89,6 +89,19 @@ type Vault struct {
 	streamBuffered atomic.Int64
 	streamPeak     atomic.Int64
 
+	// cache is the decoded-object read cache (cache.go); nil — the
+	// default — disables caching entirely and leaves the read path
+	// exactly as it was. cacheBytes/cacheShare hold the WithReadCache /
+	// WithCacheTenantShare settings until NewVault builds the cache,
+	// so option order doesn't matter.
+	cache      *readCache
+	cacheBytes int64
+	cacheShare float64
+
+	// prefetchWindow is how many chunk-stripe fetches a chunked read
+	// keeps in flight ahead of decode (prefetch.go); <= 0 disables.
+	prefetchWindow int
+
 	// obsReg/obsm are the metrics registry and pre-resolved instruments;
 	// see degraded.go. tracer roots one hierarchical trace per vault op
 	// (Put/Get/Renew/Scrub/Delete) and bridges span durations into
@@ -193,6 +206,24 @@ func WithRand(r io.Reader) VaultOption {
 	return func(v *Vault) { v.rnd = r }
 }
 
+// WithReadCache enables the decoded-object read cache with a byte
+// budget: repeated Gets of hot objects are served from memory instead
+// of re-fetching and re-decoding a stripe. See cache.go for the
+// coherence rules and the admission policy. n <= 0 leaves the cache
+// disabled (the default).
+func WithReadCache(n int64) VaultOption {
+	return func(v *Vault) { v.cacheBytes = n }
+}
+
+// WithCacheTenantShare caps the fraction of the read cache any one
+// owner — the id prefix before the first '/', the API layer's tenant —
+// may occupy (DefaultCacheTenantShare, i.e. no split, otherwise). An
+// owner over its share evicts its own coldest entries, never another
+// tenant's hot set.
+func WithCacheTenantShare(frac float64) VaultOption {
+	return func(v *Vault) { v.cacheShare = frac }
+}
+
 // WithRetryPolicy bounds the vault's per-node retries on transient
 // cluster faults (cluster.DefaultRetry otherwise).
 func WithRetryPolicy(p cluster.RetryPolicy) VaultOption {
@@ -228,14 +259,16 @@ func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, er
 		return nil, fmt.Errorf("core: encoding needs %d nodes, cluster has %d", n, c.Size())
 	}
 	v := &Vault{
-		Cluster:       c,
-		Encoding:      enc,
-		IntegrityMode: tstamp.RefCommitment,
-		Group:         group.Default(),
-		rnd:           rand.Reader,
-		retry:         cluster.DefaultRetry,
-		chunkSize:     DefaultChunkSize,
-		obsReg:        obs.Default(),
+		Cluster:        c,
+		Encoding:       enc,
+		IntegrityMode:  tstamp.RefCommitment,
+		Group:          group.Default(),
+		rnd:            rand.Reader,
+		retry:          cluster.DefaultRetry,
+		chunkSize:      DefaultChunkSize,
+		cacheShare:     DefaultCacheTenantShare,
+		prefetchWindow: DefaultPrefetchWindow,
+		obsReg:         obs.Default(),
 	}
 	for i := range v.stripes {
 		v.stripes[i].objects = make(map[string]*vaultObject)
@@ -245,6 +278,12 @@ func NewVault(c *cluster.Cluster, enc Encoding, opts ...VaultOption) (*Vault, er
 		o(v)
 	}
 	v.obsm = newVaultMetrics(v.obsReg, v.Encoding.Name())
+	if v.cacheBytes > 0 {
+		v.cache = newReadCache(v.cacheBytes, v.cacheShare)
+		v.cache.evictC = v.obsm.cacheEvict
+		v.cache.rejectC = v.obsm.cacheReject
+		v.cache.bytesG = v.obsm.cacheBytes
+	}
 	if v.tracer == nil {
 		if v.obsReg == obs.Default() {
 			v.tracer = trace.Default()
@@ -358,8 +397,22 @@ func (v *Vault) put(ctx context.Context, id string, data []byte) error {
 	obj.digests = ShardDigests(enc.Shards)
 	obj.width = len(enc.Shards)
 	obj.live.Store(true)
+	// Defensive invalidation while the write lock is still held: a fresh
+	// id cannot have an entry unless it was deleted and re-put, in which
+	// case Delete already dropped it — but the hook costs one map probe
+	// and keeps "every mutator invalidates" unconditional.
+	v.cacheInvalidate(id)
 	obj.mu.Unlock()
 	return nil
+}
+
+// cacheInvalidate drops id's read-cache entry (no-op without a cache).
+// Every mutator calls it while holding the object's write lock; see the
+// coherence rules in cache.go.
+func (v *Vault) cacheInvalidate(id string) {
+	if v.cache != nil {
+		v.cache.invalidate(id)
+	}
 }
 
 // disperse writes one encoding's shards to the cluster atomically: every
@@ -469,7 +522,43 @@ func (v *Vault) get(ctx context.Context, id string) ([]byte, error) {
 	if !obj.live.Load() {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	return v.readObject(ctx, id, obj)
+	// The epoch is captured before the cache probe AND before the stripe
+	// fetch: an entry inserted below is reachable only while the cluster
+	// is still in the epoch the read began in, so an AdvanceEpoch racing
+	// this read can only make the insert unreachable — never stale.
+	epoch := v.Cluster.Epoch()
+	if v.cache != nil {
+		if cached, ok := v.cacheGet(ctx, id, epoch); ok {
+			// Callers own Get's result; hand out a copy so writes to it
+			// cannot corrupt the immutable cached entry.
+			return append([]byte(nil), cached...), nil
+		}
+	}
+	data, err := v.readObject(ctx, id, obj)
+	if err == nil && v.cache != nil {
+		// Insert under the still-held read lock: any later mutation of
+		// this object must take the write lock first, and its
+		// invalidate(id) then runs strictly after this insert.
+		v.cache.put(id, epoch, data)
+	}
+	return data, err
+}
+
+// cacheGet probes the read cache, recording hit/miss metrics and the
+// hit-latency histogram. The returned slice is the cache's immutable
+// copy.
+func (v *Vault) cacheGet(ctx context.Context, id string, epoch int) ([]byte, bool) {
+	start := time.Now()
+	cached, ok := v.cache.get(id, epoch)
+	if !ok {
+		v.obsm.cacheMiss.Inc()
+		return nil, false
+	}
+	v.obsm.cacheHit.Inc()
+	v.obsm.cacheHitNs.Observe(float64(time.Since(start).Nanoseconds()))
+	v.obsm.getBytes.Observe(float64(len(cached)))
+	trace.FromContext(ctx).Event("cache.hit", trace.Int("bytes", len(cached)))
+	return cached, true
 }
 
 // readObject is the degraded k-of-n read body; callers hold obj.mu (read
@@ -629,6 +718,11 @@ func (v *Vault) renewShares(ctx context.Context, id string) error {
 	if !obj.live.Load() {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	// The rewrite changes the shard set (and, across an epoch boundary,
+	// the epoch a fresh read would record); drop the cached plaintext
+	// before dispersal so no entry from the pre-renewal stripe survives
+	// the write lock.
+	v.cacheInvalidate(id)
 	if obj.batch != nil {
 		return v.renewBatchMember(ctx, id, obj)
 	}
@@ -700,6 +794,7 @@ func (v *Vault) deleteObject(ctx context.Context, id string) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	obj.live.Store(false)
+	v.cacheInvalidate(id)
 	if obj.batch != nil {
 		v.releaseBatchMember(id, obj)
 	} else {

@@ -17,6 +17,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,12 @@ type SaturationConfig struct {
 	// Scrubs are unchanged — members read and scrub through the same vault
 	// surface as any object.
 	Batched bool
+	// ReadSkew > 1 aims Gets at the preloaded ids through a zipfian
+	// distribution with that skew (rank 0 hottest) instead of the
+	// uniform draw — the hot-set regime the read cache targets. 0
+	// keeps the uniform draw; values in (0, 1] are invalid (the zipf
+	// generator needs s > 1).
+	ReadSkew float64
 }
 
 func (cfg SaturationConfig) normalize() (SaturationConfig, error) {
@@ -94,6 +101,9 @@ func (cfg SaturationConfig) normalize() (SaturationConfig, error) {
 	}
 	if cfg.Mix.Put <= 0 && cfg.Mix.Get <= 0 && cfg.Mix.Scrub <= 0 {
 		cfg.Mix = DefaultMix()
+	}
+	if cfg.ReadSkew > 0 && cfg.ReadSkew <= 1 {
+		return cfg, fmt.Errorf("%w: read skew=%v (need 0 or > 1)", ErrBadParams, cfg.ReadSkew)
 	}
 	return cfg, nil
 }
@@ -129,6 +139,12 @@ type SaturationResult struct {
 	// LockWaitP99Ns is the p99 of vault.lock.wait_ns over the window —
 	// the striped design's contention residue.
 	LockWaitP99Ns float64 `json:"lock_wait_p99_ns"`
+	// Read-cache accounting over the measured window (zero when the
+	// vault runs without a cache): hits and misses from the encoding-
+	// labeled vault.cache.{hit,miss} counters, and their ratio.
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
 }
 
 // Saturate drives the vault with cfg.Workers closed-loop workers and
@@ -175,6 +191,13 @@ func Saturate(v *core.Vault, reg *obs.Registry, cfg SaturationConfig) (*Saturati
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			// The zipf source is seeded apart from the op-mix stream so
+			// enabling skew changes WHICH ids Gets hit, not the op
+			// sequence itself.
+			var zm *ZipfMix
+			if cfg.ReadSkew > 1 {
+				zm, _ = NewZipfMix(cfg.Seed+1000+int64(w), cfg.ReadSkew, len(preIDs))
+			}
 			seq := 0
 			for op := 0; op < perWorker; op++ {
 				u := rng.Float64() * total
@@ -194,7 +217,12 @@ func Saturate(v *core.Vault, reg *obs.Registry, cfg SaturationConfig) (*Saturati
 						errCount.Add(1)
 					}
 				case u < cfg.Mix.Put+cfg.Mix.Get:
+					// The uniform draw is consumed either way so a skewed
+					// run replays the same op interleaving as a uniform one.
 					id := preIDs[rng.Intn(len(preIDs))]
+					if zm != nil {
+						id = preIDs[zm.Next()]
+					}
 					data, err := v.Get(id)
 					gets.Add(1)
 					if err != nil {
@@ -232,6 +260,14 @@ func Saturate(v *core.Vault, reg *obs.Registry, cfg SaturationConfig) (*Saturati
 		res.OpsPerSec = float64(res.Ops) / s
 		res.PutMBPerSec = snap.Histograms["vault.put.bytes"].Sum / s / 1e6
 		res.GetMBPerSec = snap.Histograms["vault.get.bytes"].Sum / s / 1e6
+	}
+	// Read-cache accounting: the vault.cache.{hit,miss} counters are
+	// labeled by encoding, so read them back under this vault's slug.
+	slug := strings.ReplaceAll(strings.ToLower(v.Encoding.Name()), " ", "_")
+	res.CacheHits, _ = snap.Series("vault.cache.hit", slug)
+	res.CacheMisses, _ = snap.Series("vault.cache.miss", slug)
+	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+		res.CacheHitRatio = float64(res.CacheHits) / float64(lookups)
 	}
 	return res, nil
 }

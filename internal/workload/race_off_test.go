@@ -1,0 +1,8 @@
+//go:build !race
+
+package workload
+
+// raceEnabled reports whether the race detector is active; latency
+// comparisons skip under it (instrumentation overhead swamps the
+// timing signal).
+const raceEnabled = false

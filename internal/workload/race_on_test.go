@@ -1,0 +1,5 @@
+//go:build race
+
+package workload
+
+const raceEnabled = true

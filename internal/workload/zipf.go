@@ -1,0 +1,43 @@
+package workload
+
+// Zipfian index selection for skewed read mixes. Real archive read
+// traffic is heavily skewed — a small hot set absorbs most retrievals
+// (the regime the vault's read cache exists for) — so the saturation
+// driver can aim its Gets through a ZipfMix instead of the uniform
+// draw. Each worker owns a locally-seeded generator: sequences are
+// deterministic per (seed, s, n) and replay byte-identically across
+// runs, which is what lets the cache-hit gate and the papereval sweep
+// pin exact expectations.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ZipfMix draws ranks in [0, n) with zipfian skew s: rank 0 is the
+// hottest, P(rank=k) ∝ 1/(k+1)^s. s must be > 1 (the stdlib generator's
+// domain). A ZipfMix is NOT safe for concurrent use — give each worker
+// its own, seeded distinctly.
+type ZipfMix struct {
+	z *rand.Zipf
+	n int
+}
+
+// NewZipfMix builds a deterministic zipfian rank source over n ranks
+// with skew s > 1, seeded locally (no global rand state involved).
+func NewZipfMix(seed int64, s float64, n int) (*ZipfMix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: zipf n=%d", ErrBadParams, n)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("%w: zipf s=%v (need s > 1)", ErrBadParams, s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfMix{z: rand.NewZipf(rng, s, 1, uint64(n-1)), n: n}, nil
+}
+
+// Next returns the next rank in [0, n).
+func (m *ZipfMix) Next() int { return int(m.z.Uint64()) }
+
+// N returns the rank-space size.
+func (m *ZipfMix) N() int { return m.n }

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"securearchive/internal/cluster"
+	"securearchive/internal/core"
+	"securearchive/internal/group"
+	"securearchive/internal/obs"
+)
+
+func TestZipfMixRejectsBadParams(t *testing.T) {
+	if _, err := NewZipfMix(1, 1.0, 8); err == nil {
+		t.Fatal("s=1.0 accepted (zipf needs s > 1)")
+	}
+	if _, err := NewZipfMix(1, 0.5, 8); err == nil {
+		t.Fatal("s=0.5 accepted")
+	}
+	if _, err := NewZipfMix(1, 1.5, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+// TestZipfMixDeterministicReplay pins the property the cache gate and
+// the papereval sweep rely on: the rank sequence is a pure function of
+// (seed, s, n) — same seed replays byte-identically, different seeds
+// diverge.
+func TestZipfMixDeterministicReplay(t *testing.T) {
+	const n, draws = 64, 2000
+	a, err := NewZipfMix(42, 1.3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewZipfMix(42, 1.3, n)
+	c, _ := NewZipfMix(43, 1.3, n)
+	diverged := false
+	for i := 0; i < draws; i++ {
+		ra, rb, rc := a.Next(), b.Next(), c.Next()
+		if ra != rb {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, ra, rb)
+		}
+		if ra < 0 || ra >= n {
+			t.Fatalf("draw %d: rank %d out of [0, %d)", i, ra, n)
+		}
+		if ra != rc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestZipfMixDistribution pins the shape: rank 0 is by far the hottest
+// and a small head absorbs most draws — the skew that makes a bounded
+// cache worth having.
+func TestZipfMixDistribution(t *testing.T) {
+	const n, draws = 64, 20000
+	zm, err := NewZipfMix(7, 1.5, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[zm.Next()]++
+	}
+	// For s=1.5 the exact head probabilities are ~0.39 for rank 0 and
+	// ~0.027 for rank 10; these thresholds leave wide sampling slack.
+	if counts[0] < draws/4 {
+		t.Errorf("rank 0 drew %d/%d, want >= 1/4 of draws", counts[0], draws)
+	}
+	if counts[10] > 0 && counts[0] < 5*counts[10] {
+		t.Errorf("rank 0 (%d) not >> rank 10 (%d)", counts[0], counts[10])
+	}
+	head := 0
+	for k := 0; k < 8; k++ {
+		head += counts[k]
+	}
+	if float64(head) < 0.6*draws {
+		t.Errorf("top-8 ranks drew %d/%d, want >= 60%%", head, draws)
+	}
+}
+
+// cacheVault builds a vault for the skewed-read tests; cacheBytes <= 0
+// leaves the read cache off.
+func cacheVault(t *testing.T, plan *cluster.FaultPlan, cacheBytes int64) (*core.Vault, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	c := cluster.New(8, nil)
+	c.UseRegistry(reg)
+	if plan != nil {
+		c.SetFaultPlan(plan)
+	}
+	opts := []core.VaultOption{core.WithGroup(group.Test()), core.WithRegistry(reg)}
+	if cacheBytes > 0 {
+		opts = append(opts, core.WithReadCache(cacheBytes))
+	}
+	v, err := core.NewVault(c, core.Erasure{K: 4, N: 8}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, reg
+}
+
+// TestSaturateReadSkew wires the zipfian draw through the driver: a
+// skewed read-only run against a cached vault must account every Get as
+// exactly one cache probe, and a single-worker run must replay with
+// identical cache accounting — the driver-level determinism the sweep's
+// comparability rests on.
+func TestSaturateReadSkew(t *testing.T) {
+	cfg := SaturationConfig{
+		Workers: 1, TotalOps: 200, ObjectBytes: 2 << 10, Preload: 16,
+		Mix: OpMix{Get: 1}, Seed: 21, ReadSkew: 1.2,
+	}
+	var first *SaturationResult
+	for run := 0; run < 2; run++ {
+		v, reg := cacheVault(t, nil, 1<<20)
+		res, err := Saturate(v, reg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("run %d: %d errors on a healthy cluster", run, res.Errors)
+		}
+		if res.CacheHits+res.CacheMisses != res.Gets {
+			t.Fatalf("run %d: %d hits + %d misses != %d gets", run, res.CacheHits, res.CacheMisses, res.Gets)
+		}
+		if res.CacheHits == 0 {
+			t.Fatalf("run %d: skewed reads over a fully-cacheable set produced no hits", run)
+		}
+		if first == nil {
+			first = res
+		} else if res.CacheHits != first.CacheHits || res.CacheMisses != first.CacheMisses || res.Gets != first.Gets {
+			t.Fatalf("replay diverged: run0 %d/%d/%d vs run1 %d/%d/%d (hits/misses/gets)",
+				first.CacheHits, first.CacheMisses, first.Gets, res.CacheHits, res.CacheMisses, res.Gets)
+		}
+	}
+
+	// Invalid skew values in (0, 1] must be rejected, not silently
+	// treated as uniform.
+	v, reg := cacheVault(t, nil, 1<<20)
+	bad := cfg
+	bad.ReadSkew = 0.9
+	if _, err := Saturate(v, reg, bad); err == nil {
+		t.Fatal("ReadSkew=0.9 accepted")
+	}
+}
+
+// TestCacheHitGate is the acceptance gate for the read cache: a
+// zipfian (s=1.1) read-heavy workload over a preloaded set must hit the
+// cache at least half the time, and the cached run's p99 Get latency
+// must beat the uncached run's under injected per-node I/O latency (the
+// regime where skipping the stripe fetch is the point). Like the other
+// perf gates it is specified for >= 4 cores and skips below.
+func TestCacheHitGate(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d: cache-hit gate needs >= 4 cores", runtime.GOMAXPROCS(0))
+	}
+	plan := &cluster.FaultPlan{
+		Seed:    1,
+		Default: cluster.NodeFaults{Latency: 200 * time.Microsecond},
+	}
+	cfg := SaturationConfig{
+		Workers: 16, TotalOps: 1600, ObjectBytes: 4 << 10, Preload: 64,
+		Mix: OpMix{Get: 1}, Seed: 31, ReadSkew: 1.1,
+	}
+	var uncached, cached *SaturationResult
+	for _, cacheBytes := range []int64{0, 128 << 10} {
+		v, reg := cacheVault(t, plan, cacheBytes)
+		res, err := Saturate(v, reg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("cache=%d: %d errors on a healthy cluster", cacheBytes, res.Errors)
+		}
+		if cacheBytes == 0 {
+			uncached = res
+		} else {
+			cached = res
+		}
+	}
+	if uncached.CacheHits != 0 {
+		t.Errorf("uncached run reported %d cache hits", uncached.CacheHits)
+	}
+	if cached.CacheHitRatio < 0.5 {
+		t.Errorf("cache hit ratio %.2f at zipf s=1.1, want >= 0.5 (admission or eviction regression?)",
+			cached.CacheHitRatio)
+	}
+	if raceEnabled {
+		t.Logf("race detector on: skipping the p99 comparison (cached %.0fns, uncached %.0fns)",
+			cached.GetLatency.P99Ns, uncached.GetLatency.P99Ns)
+		return
+	}
+	if cached.GetLatency.P99Ns >= uncached.GetLatency.P99Ns {
+		t.Errorf("cached p99 %.0fns not below uncached p99 %.0fns",
+			cached.GetLatency.P99Ns, uncached.GetLatency.P99Ns)
+	}
+}
